@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -timeout 900s
+
+race:
+	$(GO) test -race ./... -timeout 1800s
+
+bench:
+	$(GO) test -bench=. -benchmem ./... -timeout 3600s
+
+fuzz:
+	$(GO) test ./internal/serialization/ -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/serialization/ -fuzz FuzzParseTransmissionSizes -fuzztime 15s
+	$(GO) test ./internal/parcelport/ -fuzz FuzzDecodeHeader -fuzztime 15s
+
+examples:
+	$(GO) test . -run TestExamplesRun -v
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -out results all
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,147 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation. Each target prints the same rows/series the paper reports
+// (text form; x, y, yerr per point).
+//
+// Usage:
+//
+//	experiments [-scale full|quick] [-out dir] <target>...
+//
+// Targets: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+// fig9 fig10 fig11 ablation-mpi all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"hpxgo/internal/bench"
+	"hpxgo/internal/stats"
+)
+
+// provenance stamps each output with enough context to interpret it later.
+func provenance(scale string) string {
+	host, _ := os.Hostname()
+	return fmt.Sprintf("# generated: %s | host: %s | %s/%s GOMAXPROCS=%d | %s | scale: %s\n",
+		time.Now().Format(time.RFC3339), host,
+		runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0), runtime.Version(), scale)
+}
+
+func main() {
+	scale := flag.String("scale", "full", "experiment scale: full or quick")
+	out := flag.String("out", "", "also write each target's output to <dir>/<target>.txt")
+	format := flag.String("format", "text", "figure output format: text or csv")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick] [-out dir] <target>...\n")
+		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails all\n")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var sc bench.Scale
+	switch *scale {
+	case "full":
+		sc = bench.FullScale()
+	case "quick":
+		sc = bench.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	targets := flag.Args()
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{
+			"table1", "table2", "table3",
+			"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+			"fig7", "fig8", "fig9", "fig10", "fig11",
+			"ablation-mpi", "ablation-multidev", "profile", "check", "latency-tails",
+		}
+	}
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	for _, target := range targets {
+		start := time.Now()
+		text, err := run(target, sc, *format == "csv")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", target, err)
+			os.Exit(1)
+		}
+		text = provenance(*scale) + text
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", target, time.Since(start).Seconds(), text)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, target+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// run executes one target at the given scale.
+func run(target string, sc bench.Scale, csv bool) (string, error) {
+	figure := func(f func(bench.Scale) (*stats.Figure, error)) (string, error) {
+		fig, err := f(sc)
+		if err != nil {
+			return "", err
+		}
+		if csv {
+			return fig.RenderCSV(), nil
+		}
+		return fig.Render(), nil
+	}
+	switch target {
+	case "table1":
+		return bench.Table1Text(), nil
+	case "table2":
+		return bench.TableSystemText(bench.Expanse), nil
+	case "table3":
+		return bench.TableSystemText(bench.Rostam), nil
+	case "fig1":
+		return figure(bench.Fig1)
+	case "fig2":
+		return figure(bench.Fig2)
+	case "fig3":
+		return figure(bench.Fig3)
+	case "fig4":
+		return figure(bench.Fig4)
+	case "fig5":
+		return figure(bench.Fig5)
+	case "fig6":
+		return figure(bench.Fig6)
+	case "fig7":
+		return figure(bench.Fig7)
+	case "fig8":
+		return figure(bench.Fig8)
+	case "fig9":
+		return figure(bench.Fig9)
+	case "fig10":
+		return figure(bench.Fig10)
+	case "fig11":
+		return figure(bench.Fig11)
+	case "ablation-mpi":
+		return figure(bench.AblationMPI)
+	case "ablation-multidev":
+		return figure(bench.AblationMultiDevice)
+	case "profile":
+		return bench.ProfileText(sc)
+	case "check":
+		return bench.ClaimsText(sc)
+	case "latency-tails":
+		return figure(bench.LatencyTails)
+	default:
+		return "", fmt.Errorf("unknown target %q", target)
+	}
+}

@@ -1,0 +1,39 @@
+// Command latency runs the §4.2 multi-chain ping-pong microbenchmark once
+// and prints the one-way latency.
+//
+// Example:
+//
+//	latency -config mpi_i -size 16384 -window 8 -steps 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpxgo/internal/bench"
+)
+
+func main() {
+	config := flag.String("config", "lci", "parcelport configuration (Table 1 name)")
+	size := flag.Int("size", 8, "message size in bytes")
+	window := flag.Int("window", 1, "number of concurrent ping-pong chains")
+	steps := flag.Int("steps", 300, "one-way legs per chain")
+	workers := flag.Int("workers", bench.Expanse.WorkersPerLocality, "worker threads per locality")
+	dist := flag.Bool("dist", false, "also report p50/p99/max one-way latency")
+	flag.Parse()
+
+	d, err := bench.LatencyDistribution(*config, bench.LatencyParams{
+		Size: *size, Window: *window, Steps: *steps,
+		Workers: *workers, Fabric: bench.Expanse.Fabric(2),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latency: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("config=%s size=%dB window=%d one_way_latency=%.2fus", *config, *size, *window, d.Mean)
+	if *dist {
+		fmt.Printf(" p50=%.2fus p99=%.2fus max=%.2fus", d.P50, d.P99, d.Max)
+	}
+	fmt.Println()
+}

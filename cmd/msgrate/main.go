@@ -1,0 +1,42 @@
+// Command msgrate runs the §4.1 message-rate microbenchmark once and prints
+// the achieved injection and message rates.
+//
+// Example:
+//
+//	msgrate -config lci_psr_cq_pin_i -size 8 -batch 100 -total 20000 -rate 400000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpxgo/internal/bench"
+	"hpxgo/internal/core"
+)
+
+func main() {
+	config := flag.String("config", "lci", "parcelport configuration (Table 1 name)")
+	size := flag.Int("size", 8, "message size in bytes")
+	batch := flag.Int("batch", 100, "messages per task")
+	total := flag.Int("total", 20000, "total messages")
+	rate := flag.Float64("rate", 0, "attempted injection rate in msgs/s (0 = unlimited)")
+	workers := flag.Int("workers", bench.Expanse.WorkersPerLocality, "worker threads per locality")
+	stats := flag.Bool("stats", false, "print runtime performance counters after the run")
+	flag.Parse()
+
+	params := bench.MsgRateParams{
+		Size: *size, Batch: *batch, Total: *total, Rate: *rate,
+		Workers: *workers, Fabric: bench.Expanse.Fabric(2),
+	}
+	if *stats {
+		params.Inspect = func(rt *core.Runtime) { fmt.Print(rt.StatsText()) }
+	}
+	res, err := bench.MessageRate(*config, params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("config=%s size=%dB attempted=%.0f/s achieved_injection=%.0f/s message_rate=%.0f/s\n",
+		*config, *size, res.AttemptedRate, res.AchievedInj, res.MsgRate)
+}

@@ -1,0 +1,54 @@
+// Command octotiger runs the §5 application benchmark (the Octo-Tiger
+// proxy) once and prints steps per second.
+//
+// Example:
+//
+//	octotiger -config lci -platform expanse -nodes 8 -level 3 -steps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpxgo/internal/bench"
+	"hpxgo/internal/core"
+)
+
+func main() {
+	config := flag.String("config", "lci", "parcelport configuration (Table 1 name)")
+	platform := flag.String("platform", "expanse", "platform profile: expanse or rostam")
+	nodes := flag.Int("nodes", 4, "number of simulated compute nodes")
+	level := flag.Int("level", 3, "maximum octree level")
+	steps := flag.Int("steps", 3, "stop step (iteration count)")
+	subgrid := flag.Int("subgrid", 6, "subgrid edge length per leaf")
+	fields := flag.Int("fields", 4, "hydro fields per boundary exchange")
+	stats := flag.Bool("stats", false, "print runtime performance counters after the run")
+	regrid := flag.Int("regrid", 0, "adaptively regrid every N steps (0 = off)")
+	flag.Parse()
+
+	var plat bench.Platform
+	switch *platform {
+	case "expanse":
+		plat = bench.Expanse
+	case "rostam":
+		plat = bench.Rostam
+	default:
+		fmt.Fprintf(os.Stderr, "octotiger: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	params := bench.OctoParams{
+		Platform: plat, Nodes: *nodes, Level: *level, Steps: *steps,
+		Subgrid: *subgrid, Fields: *fields, RegridEvery: *regrid,
+	}
+	if *stats {
+		params.Inspect = func(rt *core.Runtime) { fmt.Print(rt.StatsText()) }
+	}
+	sps, err := bench.OctoTiger(*config, params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "octotiger: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("config=%s platform=%s nodes=%d level=%d steps_per_second=%.4f\n",
+		*config, plat.Name, *nodes, *level, sps)
+}

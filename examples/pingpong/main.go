@@ -1,0 +1,56 @@
+// Pingpong: measure round-trip latency between two localities under two
+// parcelport configurations — a miniature of the paper's Fig 7 experiment,
+// written directly against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hpxgo/internal/core"
+)
+
+// measure runs `rounds` ping-pongs of the given payload size and returns
+// the mean one-way latency.
+func measure(ppName string, size, rounds int) (time.Duration, error) {
+	rt, err := core.NewRuntime(core.Config{
+		Localities:         2,
+		WorkersPerLocality: 2,
+		Parcelport:         ppName,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Shutdown()
+	rt.MustRegisterAction("echo", func(loc *core.Locality, args [][]byte) [][]byte {
+		return args
+	})
+	if err := rt.Start(); err != nil {
+		return 0, err
+	}
+
+	payload := make([]byte, size)
+	sender := rt.Locality(0)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := sender.Call(1, "echo", payload).GetTimeout(time.Minute); err != nil {
+			return 0, err
+		}
+	}
+	// Each round is two one-way messages.
+	return time.Since(start) / time.Duration(2*rounds), nil
+}
+
+func main() {
+	const rounds = 200
+	for _, size := range []int{8, 1024, 16 * 1024} {
+		for _, pp := range []string{"lci_psr_cq_pin_i", "mpi_i"} {
+			lat, err := measure(pp, size, rounds)
+			if err != nil {
+				log.Fatalf("%s: %v", pp, err)
+			}
+			fmt.Printf("%-18s %6dB  one-way %8.1fus\n", pp, size, float64(lat.Nanoseconds())/1e3)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Poisson: solve a 3-D Poisson problem with distributed conjugate gradient
+// across four localities — the "sparse numerical solver" workload the
+// paper's introduction motivates. Each CG iteration performs a halo
+// exchange through the parcelport under test and global dot products
+// through the runtime's Reduce collective.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"hpxgo/internal/core"
+	"hpxgo/internal/sparse"
+)
+
+func main() {
+	grid := sparse.Grid{NX: 12, NY: 12, NZ: 12}
+
+	rt, err := core.NewRuntime(core.Config{
+		Localities:         4,
+		WorkersPerLocality: 2,
+		Parcelport:         "lci",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver, err := sparse.New(rt, sparse.Params{Grid: grid, MaxIter: 400, Tol: 1e-9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	// Manufactured solution: x*_i = sin(i), b = A x* from the stencil.
+	n := grid.N()
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i))
+	}
+	b := make([]float64, n)
+	idx := func(x, y, z int) int { return x + grid.NX*(y+grid.NY*z) }
+	for z := 0; z < grid.NZ; z++ {
+		for y := 0; y < grid.NY; y++ {
+			for x := 0; x < grid.NX; x++ {
+				i := idx(x, y, z)
+				acc := 6 * xTrue[i]
+				if x > 0 {
+					acc -= xTrue[idx(x-1, y, z)]
+				}
+				if x < grid.NX-1 {
+					acc -= xTrue[idx(x+1, y, z)]
+				}
+				if y > 0 {
+					acc -= xTrue[idx(x, y-1, z)]
+				}
+				if y < grid.NY-1 {
+					acc -= xTrue[idx(x, y+1, z)]
+				}
+				if z > 0 {
+					acc -= xTrue[idx(x, y, z-1)]
+				}
+				if z < grid.NZ-1 {
+					acc -= xTrue[idx(x, y, z+1)]
+				}
+				b[i] = acc
+			}
+		}
+	}
+	if err := solver.SetRHS(b); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := solver.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	x := solver.Solution()
+	var maxErr float64
+	for i := range x {
+		if e := math.Abs(x[i] - xTrue[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("grid %dx%dx%d (N=%d) on 4 localities\n", grid.NX, grid.NY, grid.NZ, n)
+	fmt.Printf("CG converged=%v in %d iterations, relres=%.2e (%v)\n",
+		res.Converged, res.Iterations, res.RelRes, elapsed.Round(time.Millisecond))
+	fmt.Printf("max |x - x*| = %.2e\n", maxErr)
+	if !res.Converged || maxErr > 1e-6 {
+		log.Fatal("solve failed verification")
+	}
+	fmt.Println("verified against the manufactured solution")
+}

@@ -1,0 +1,45 @@
+// Quickstart: a two-locality "cluster" in one process, one registered
+// action, one remote call — the smallest complete program against the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hpxgo/internal/core"
+)
+
+func main() {
+	// Build a runtime: 2 localities (simulated compute nodes), 2 worker
+	// threads each, the baseline LCI parcelport.
+	rt, err := core.NewRuntime(core.Config{
+		Localities:         2,
+		WorkersPerLocality: 2,
+		Parcelport:         "lci", // alias for lci_psr_cq_pin_i
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register an action before starting. Actions run as tasks on the
+	// target locality and may return result blobs.
+	rt.MustRegisterAction("greet", func(loc *core.Locality, args [][]byte) [][]byte {
+		msg := fmt.Sprintf("hello %s, from locality %d", args[0], loc.ID())
+		return [][]byte{[]byte(msg)}
+	})
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	// Call the action on locality 1 from locality 0 and wait on the future.
+	fut := rt.Locality(0).Call(1, "greet", []byte("world"))
+	res, err := fut.GetTimeout(10 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(res[0]))
+	fmt.Printf("parcelport: %s\n", rt.ParcelportName())
+}

@@ -1,0 +1,54 @@
+package hpxgo
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example binary end to end and checks its
+// self-verification output. Examples double as integration tests of the
+// public API.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples in -short mode")
+	}
+	cases := []struct {
+		dir    string
+		needle string // output that proves the example did its job
+	}{
+		{"quickstart", "hello world, from locality 1"},
+		{"pingpong", "one-way"},
+		{"taskgraph", "sum="},
+		{"octotree", "conserved"},
+		{"lcidirect", "rendezvous"},
+		{"graphbfs", "verified: results match"},
+		{"poisson", "verified against the manufactured solution"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+tc.dir)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s timed out", tc.dir)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.needle) {
+				t.Fatalf("example %s output missing %q:\n%s", tc.dir, tc.needle, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module hpxgo
+
+go 1.22

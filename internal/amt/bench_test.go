@@ -1,0 +1,50 @@
+package amt
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkSpawnExecute(b *testing.B) {
+	s := New(Config{Workers: 1})
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	var n atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Spawn(func() { n.Add(1) })
+	}
+	for n.Load() < int64(b.N) {
+	}
+}
+
+func BenchmarkFutureSetGet(b *testing.B) {
+	s := New(Config{Workers: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := NewFuture[int](s)
+		f.Set(i, nil)
+		if v, _ := f.Get(); v != i {
+			b.Fatal("bad value")
+		}
+	}
+}
+
+func BenchmarkAsyncRoundTrip(b *testing.B) {
+	s := New(Config{Workers: 1})
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := Async(s, func() (int, error) { return i, nil })
+		if _, err := f.Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

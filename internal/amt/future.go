@@ -1,0 +1,136 @@
+package amt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTimeout is returned by GetTimeout when the deadline passes first.
+var ErrTimeout = errors.New("amt: future wait timed out")
+
+// Future is a single-assignment value produced by an asynchronous task, the
+// analogue of an HPX future / local control object. Because tasks run as
+// goroutines, a task blocked in Get simply parks — the HPX equivalent of a
+// suspended user-level thread releasing its worker.
+type Future[T any] struct {
+	sched *Scheduler
+	set   atomic.Bool
+
+	mu        sync.Mutex
+	val       T
+	err       error
+	done      chan struct{}
+	callbacks []func(T, error)
+}
+
+// NewFuture creates an unset future bound to a scheduler (whose tasks run
+// its callbacks).
+func NewFuture[T any](s *Scheduler) *Future[T] {
+	return &Future[T]{sched: s, done: make(chan struct{})}
+}
+
+// Set fulfils the future, waking waiters. Callbacks registered with Then
+// are spawned as tasks. Setting twice is a no-op returning false.
+func (f *Future[T]) Set(v T, err error) bool {
+	f.mu.Lock()
+	if f.set.Load() {
+		f.mu.Unlock()
+		return false
+	}
+	f.val, f.err = v, err
+	cbs := f.callbacks
+	f.callbacks = nil
+	f.set.Store(true)
+	close(f.done)
+	f.mu.Unlock()
+	for _, cb := range cbs {
+		cb := cb
+		f.sched.Spawn(func() { cb(v, err) })
+	}
+	return true
+}
+
+// Ready reports whether the future has been set.
+func (f *Future[T]) Ready() bool { return f.set.Load() }
+
+// Then registers a callback to run (as a scheduler task) once the future is
+// set. If already set, the callback is spawned immediately.
+func (f *Future[T]) Then(cb func(T, error)) {
+	f.mu.Lock()
+	if !f.set.Load() {
+		f.callbacks = append(f.callbacks, cb)
+		f.mu.Unlock()
+		return
+	}
+	v, err := f.val, f.err
+	f.mu.Unlock()
+	f.sched.Spawn(func() { cb(v, err) })
+}
+
+// Get parks until the value arrives.
+func (f *Future[T]) Get() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// GetTimeout is Get with a deadline.
+func (f *Future[T]) GetTimeout(d time.Duration) (T, error) {
+	if f.set.Load() {
+		return f.val, f.err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-t.C:
+		var zero T
+		return zero, ErrTimeout
+	}
+}
+
+// Wait parks until the future is set, discarding the value.
+func (f *Future[T]) Wait() { <-f.done }
+
+// Async spawns fn on the scheduler and returns a future for its result.
+func Async[T any](s *Scheduler, fn func() (T, error)) *Future[T] {
+	f := NewFuture[T](s)
+	s.Spawn(func() {
+		v, err := fn()
+		f.Set(v, err)
+	})
+	return f
+}
+
+// WhenAll returns a future that is set once all inputs are set. Its error is
+// the first non-nil input error.
+func WhenAll[T any](s *Scheduler, fs ...*Future[T]) *Future[[]T] {
+	out := NewFuture[[]T](s)
+	if len(fs) == 0 {
+		out.Set(nil, nil)
+		return out
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(len(fs)))
+	vals := make([]T, len(fs))
+	var firstErr atomic.Pointer[error]
+	for i, f := range fs {
+		i, f := i, f
+		f.Then(func(v T, err error) {
+			vals[i] = v
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+			}
+			if remaining.Add(-1) == 0 {
+				var e error
+				if p := firstErr.Load(); p != nil {
+					e = *p
+				}
+				out.Set(vals, e)
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+// Package amt implements the asynchronous many-task execution layer that
+// stands in for the HPX thread-scheduling system. Each locality owns one
+// Scheduler.
+//
+// Tasks are goroutines: like HPX's suspendable user-level threads, a task
+// that blocks on a future parks and costs nothing until its value arrives
+// (the Go scheduler plays the role of HPX's thread scheduler). The
+// Scheduler's "workers" are the HPX worker threads in their *idle* role: W
+// poller goroutines that continuously invoke the parcelport's
+// background-work function — which is how the MPI parcelport polls its
+// pending connections and how the LCI parcelport drains completion queues.
+// Compute code that wants W-way chunking queries Workers(), as the
+// Octo-Tiger proxy does.
+//
+// The scheduler also provides "dedicated threads" outside the worker pool,
+// the analogue of reserving a core through the HPX resource partitioner: the
+// LCI parcelport's pinned progress thread runs there.
+package amt
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BackgroundFunc is called by idle workers. It returns true if it performed
+// any work (so the worker polls hot) and false otherwise (so the worker may
+// back off).
+type BackgroundFunc func(workerID int) bool
+
+// Config tunes a Scheduler.
+type Config struct {
+	// Workers is the number of background-poller goroutines (the idle role
+	// of HPX worker threads). Default 2.
+	Workers int
+	// IdleSleep is how long a worker naps after a stretch of fruitless
+	// polling, bounding busy-wait burn on oversubscribed hosts. Default 20µs.
+	IdleSleep time.Duration
+	// IdleSpins is the number of fruitless iterations before napping.
+	// Default 64.
+	IdleSpins int
+	// Name labels the scheduler in errors (typically "locality-N").
+	Name string
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.IdleSleep <= 0 {
+		c.IdleSleep = 20 * time.Microsecond
+	}
+	if c.IdleSpins <= 0 {
+		c.IdleSpins = 64
+	}
+}
+
+// Scheduler runs tasks and drives parcelport background work.
+type Scheduler struct {
+	cfg Config
+
+	background atomic.Pointer[BackgroundFunc]
+
+	spawned   atomic.Int64
+	completed atomic.Int64
+
+	stopFlag  atomic.Bool
+	wg        sync.WaitGroup
+	dedicated []*dedicated
+	dedMu     sync.Mutex
+	started   atomic.Bool
+}
+
+type dedicated struct {
+	name     string
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// halt signals the dedicated loop to exit (idempotent).
+func (d *dedicated) halt() { d.stopOnce.Do(func() { close(d.stop) }) }
+
+// New creates a scheduler. Call Start to launch the workers.
+func New(cfg Config) *Scheduler {
+	cfg.fillDefaults()
+	return &Scheduler{cfg: cfg}
+}
+
+// Name returns the configured scheduler name.
+func (s *Scheduler) Name() string { return s.cfg.Name }
+
+// Workers returns the configured worker count (used by applications to
+// chunk compute work).
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// SetBackground installs the idle background-work hook (the parcelport's
+// background function). May be called before or after Start.
+func (s *Scheduler) SetBackground(f BackgroundFunc) {
+	if f == nil {
+		s.background.Store(nil)
+		return
+	}
+	s.background.Store(&f)
+}
+
+// Start launches the worker (background-poller) goroutines. It is an error
+// to start twice.
+func (s *Scheduler) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("amt: scheduler %q already started", s.cfg.Name)
+	}
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.workerLoop(w)
+	}
+	return nil
+}
+
+// Spawn schedules a task. The task runs as its own goroutine and may block
+// on futures freely (it parks rather than occupying a worker, matching
+// HPX's suspendable threads).
+func (s *Scheduler) Spawn(task func()) {
+	s.spawned.Add(1)
+	go func() {
+		defer s.completed.Add(1)
+		task()
+	}()
+}
+
+// Pending returns the number of spawned-but-unfinished tasks.
+func (s *Scheduler) Pending() int64 { return s.spawned.Load() - s.completed.Load() }
+
+// Executed returns the number of completed tasks.
+func (s *Scheduler) Executed() int64 { return s.completed.Load() }
+
+// workerLoop is the idle role of one worker thread: poll background work
+// with a spin-then-nap backoff.
+func (s *Scheduler) workerLoop(id int) {
+	defer s.wg.Done()
+	rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
+	idle := 0
+	for !s.stopFlag.Load() {
+		did := false
+		if bg := s.background.Load(); bg != nil {
+			did = (*bg)(id)
+		}
+		if did {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle >= s.cfg.IdleSpins {
+			idle = 0
+			// Nap with a little jitter so workers don't thunder in lockstep.
+			time.Sleep(s.cfg.IdleSleep + time.Duration(rng.Intn(1+int(s.cfg.IdleSleep/4))))
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Help performs one background-work pass on the calling goroutine. External
+// drivers may use it to push communication along while waiting.
+func (s *Scheduler) Help() bool {
+	if bg := s.background.Load(); bg != nil {
+		return (*bg)(-1)
+	}
+	return false
+}
+
+// StartDedicated launches a goroutine outside the worker pool, the analogue
+// of reserving a core via the HPX resource partitioner. loop is called
+// repeatedly until the scheduler (or the returned stopper) stops it; it
+// should perform one bounded slice of work per call (e.g. one LCI progress
+// pass) and return whether it did anything. lockThread pins the goroutine to
+// an OS thread. The returned function stops and joins this thread alone; it
+// is safe to call multiple times and concurrently with Stop.
+func (s *Scheduler) StartDedicated(name string, lockThread bool, loop func() bool) (stop func()) {
+	d := &dedicated{name: name, stop: make(chan struct{}), done: make(chan struct{})}
+	s.dedMu.Lock()
+	s.dedicated = append(s.dedicated, d)
+	s.dedMu.Unlock()
+	go func() {
+		defer close(d.done)
+		if lockThread {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+		}
+		// A dedicated thread owns its core in the real system, so it polls
+		// hot most of the time: yield between fruitless passes, with only a
+		// very short nap after a long idle stretch so co-scheduled
+		// goroutines on an oversubscribed host are not starved.
+		idle := 0
+		nap := s.cfg.IdleSleep / 8
+		if nap <= 0 {
+			nap = time.Microsecond
+		}
+		for {
+			select {
+			case <-d.stop:
+				return
+			default:
+			}
+			if loop() {
+				idle = 0
+				continue
+			}
+			idle++
+			if idle >= 4*s.cfg.IdleSpins {
+				idle = 0
+				time.Sleep(nap)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	return func() {
+		d.halt()
+		<-d.done
+	}
+}
+
+// WaitIdle blocks until no tasks are pending or the timeout elapses,
+// helping with background work meanwhile. Returns true if idle was reached.
+func (s *Scheduler) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.Pending() == 0 {
+			return true
+		}
+		if !s.Help() {
+			runtime.Gosched()
+		}
+	}
+	return s.Pending() == 0
+}
+
+// Stop shuts down workers and dedicated threads. Already-running task
+// goroutines continue to completion on their own; tasks parked on futures
+// that will never be set are abandoned.
+func (s *Scheduler) Stop() {
+	if !s.stopFlag.CompareAndSwap(false, true) {
+		return
+	}
+	s.dedMu.Lock()
+	ded := append([]*dedicated(nil), s.dedicated...)
+	s.dedMu.Unlock()
+	for _, d := range ded {
+		d.halt()
+	}
+	for _, d := range ded {
+		<-d.done
+	}
+	if s.started.Load() {
+		s.wg.Wait()
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hpxgo/internal/amt"
+	"hpxgo/internal/core"
+	"hpxgo/internal/fabric"
+	"hpxgo/internal/stats"
+)
+
+// LatencyParams configures the §4.2 multi-message ping-pong benchmark:
+// Window concurrent chains of tasks bounce a fixed-size message between two
+// localities for Steps one-way legs each.
+type LatencyParams struct {
+	Size    int // message payload bytes
+	Window  int // number of concurrent chains
+	Steps   int // one-way legs per chain (must be even)
+	Workers int
+	Fabric  fabric.Config
+	Timeout time.Duration
+}
+
+// LatencyDist describes the one-way latency distribution of a run in
+// microseconds.
+type LatencyDist struct {
+	Mean float64
+	P50  float64
+	P99  float64
+	Max  float64
+}
+
+// Latency runs the ping-pong benchmark and returns the mean one-way latency
+// in microseconds (total time divided by legs, as in the paper).
+func Latency(ppName string, p LatencyParams) (float64, error) {
+	d, err := LatencyDistribution(ppName, p)
+	return d.Mean, err
+}
+
+// LatencyDistribution is Latency with per-round-trip timing: alongside the
+// paper's aggregate mean it reports tail percentiles, which is how modern
+// communication benchmarks summarize jitter.
+func LatencyDistribution(ppName string, p LatencyParams) (LatencyDist, error) {
+	if p.Window <= 0 {
+		p.Window = 1
+	}
+	if p.Steps <= 0 {
+		p.Steps = 100
+	}
+	if p.Steps%2 == 1 {
+		p.Steps++
+	}
+	if p.Workers <= 0 {
+		p.Workers = 2
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 5 * time.Minute
+	}
+	if p.Fabric.Nodes == 0 {
+		p.Fabric = Expanse.Fabric(2)
+	}
+
+	rt, err := core.NewRuntime(core.Config{
+		Localities:         2,
+		WorkersPerLocality: p.Workers,
+		Parcelport:         ppName,
+		Fabric:             p.Fabric,
+	})
+	if err != nil {
+		return LatencyDist{}, err
+	}
+	defer rt.Shutdown()
+	echoID := rt.MustRegisterAction("lat_echo", func(loc *core.Locality, args [][]byte) [][]byte {
+		return args
+	})
+	if err := rt.Start(); err != nil {
+		return LatencyDist{}, err
+	}
+
+	sender := rt.Locality(0)
+	payload := make([]byte, p.Size)
+	rounds := p.Steps / 2 // each round trip is two one-way legs
+
+	// Per-chain round-trip samples, halved into one-way legs.
+	samples := make([][]float64, p.Window)
+
+	start := time.Now()
+	chains := make([]*amt.Future[struct{}], p.Window)
+	for w := 0; w < p.Window; w++ {
+		w := w
+		samples[w] = make([]float64, 0, rounds)
+		// Every "ping" and "pong" is a distinct task: the chain body runs as
+		// a task on the sender, and each echo runs as a task on the peer.
+		chains[w] = core.Async(sender, func() (struct{}, error) {
+			for r := 0; r < rounds; r++ {
+				t0 := time.Now()
+				f := sender.CallID(1, echoID, [][]byte{payload})
+				if _, err := f.GetTimeout(p.Timeout); err != nil {
+					return struct{}{}, fmt.Errorf("chain leg %d: %w", r, err)
+				}
+				samples[w] = append(samples[w], float64(time.Since(t0).Nanoseconds())/2e3)
+			}
+			return struct{}{}, nil
+		})
+	}
+	for w, c := range chains {
+		if _, err := c.GetTimeout(p.Timeout); err != nil {
+			return LatencyDist{}, fmt.Errorf("bench: latency chain %d: %w", w, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	var all []float64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	perLeg := elapsed / time.Duration(p.Steps)
+	return LatencyDist{
+		Mean: float64(perLeg.Nanoseconds()) / 1e3,
+		P50:  stats.Percentile(all, 50),
+		P99:  stats.Percentile(all, 99),
+		Max:  stats.Percentile(all, 100),
+	}, nil
+}

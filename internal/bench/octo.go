@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"time"
+
+	"hpxgo/internal/core"
+	"hpxgo/internal/octotiger"
+)
+
+// OctoParams configures one §5 Octo-Tiger strong-scaling point.
+type OctoParams struct {
+	Platform Platform
+	Nodes    int
+	Level    int // max octree level (0 = platform default, scaled)
+	Steps    int // stop step
+	Subgrid  int
+	Fields   int
+	// RegridEvery enables adaptive regridding every N steps (0 = off).
+	RegridEvery int
+	// Inspect, when non-nil, runs against the live runtime after the run
+	// completes and before shutdown (profiling hooks).
+	Inspect func(rt *core.Runtime)
+}
+
+// OctoTiger runs the proxy application under one parcelport configuration
+// and returns the achieved steps per second.
+func OctoTiger(ppName string, p OctoParams) (float64, error) {
+	if p.Nodes <= 0 {
+		p.Nodes = 2
+	}
+	if p.Steps <= 0 {
+		p.Steps = 3
+	}
+	if p.Subgrid <= 0 {
+		p.Subgrid = 6
+	}
+	if p.Fields <= 0 {
+		p.Fields = 4
+	}
+	level := p.Level
+	if level <= 0 {
+		level = 3
+	}
+	rt, err := core.NewRuntime(core.Config{
+		Localities:         p.Nodes,
+		WorkersPerLocality: p.Platform.WorkersPerLocality,
+		Parcelport:         ppName,
+		Fabric:             p.Platform.Fabric(p.Nodes),
+		IdleSleep:          20 * time.Microsecond,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer rt.Shutdown()
+	app, err := octotiger.New(rt, octotiger.Params{
+		MaxLevel:    level,
+		MinLevel:    level - 1,
+		SubgridSize: p.Subgrid,
+		RegridEvery: p.RegridEvery,
+		Fields:      p.Fields,
+		StopStep:    p.Steps,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := rt.Start(); err != nil {
+		return 0, err
+	}
+	sps, err := app.Run()
+	if err == nil && p.Inspect != nil {
+		p.Inspect(rt)
+	}
+	return sps, err
+}

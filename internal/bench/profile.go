@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hpxgo/internal/core"
+)
+
+// ProfileText runs the 16KiB message-rate workload under the improved MPI
+// parcelport and the baseline LCI parcelport and reports where the time
+// goes — the reproduction of the paper's profiling analysis ("it spent the
+// vast majority of time inside the MPI_Test function, spinning on the
+// blocking lock of the ucp_progress function").
+func ProfileText(sc Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString("Profiling analysis: 16KiB message-rate workload, unlimited injection.\n\n")
+
+	type mpiProf struct {
+		lockWait     [2]time.Duration
+		lockAcquires [2]uint64
+		testCalls    [2]uint64
+		elapsed      time.Duration
+	}
+	var mp mpiProf
+	start := time.Now()
+	resMPI, err := MessageRate("mpi_i", MsgRateParams{
+		Size: 16 * 1024, Batch: sc.Batch16K, Total: sc.Total16K,
+		Workers: Expanse.WorkersPerLocality, Fabric: Expanse.Fabric(2),
+		Inspect: func(rt *core.Runtime) {
+			for i := 0; i < 2; i++ {
+				st := rt.MPIComm(i).Stats()
+				mp.lockWait[i] = st.LockWait
+				mp.lockAcquires[i] = st.LockAcquires
+				mp.testCalls[i] = st.TestCalls
+			}
+		},
+	})
+	if err != nil {
+		return "", err
+	}
+	mp.elapsed = time.Since(start)
+	fmt.Fprintf(&b, "mpi_i: message rate %.0f msgs/s\n", resMPI.MsgRate)
+	for i := 0; i < 2; i++ {
+		role := "sender"
+		if i == 1 {
+			role = "receiver"
+		}
+		fmt.Fprintf(&b, "  rank %d (%s): %d MPI_Test calls (%.1f per HPX message), %d progress-lock acquisitions,\n",
+			i, role, mp.testCalls[i], float64(mp.testCalls[i])/float64(sc.Total16K), mp.lockAcquires[i])
+		fmt.Fprintf(&b, "    %.2fms spent blocked on the coarse progress lock (%.1f%% of the run)\n",
+			float64(mp.lockWait[i].Microseconds())/1e3,
+			100*float64(mp.lockWait[i])/float64(mp.elapsed))
+	}
+	b.WriteString("  Every Test serializes on the one progress lock and round-robins the\n")
+	b.WriteString("  pending-connection list: O(pending) polling per completion. On a\n")
+	b.WriteString("  single-CPU host the lock is rarely *blocked on* (no true parallelism),\n")
+	b.WriteString("  so the cost shows up as the Test-call volume itself; on the paper's\n")
+	b.WriteString("  128-core nodes the same structure turns into lock spinning.\n")
+
+	var lciProgress, lciRetries uint64
+	resLCI, err := MessageRate("lci", MsgRateParams{
+		Size: 16 * 1024, Batch: sc.Batch16K, Total: sc.Total16K,
+		Workers: Expanse.WorkersPerLocality, Fabric: Expanse.Fabric(2),
+		Inspect: func(rt *core.Runtime) {
+			for i := 0; i < 2; i++ {
+				st := rt.Locality(i).LCIDevice().Stats()
+				lciProgress += st.ProgressCalls
+				lciRetries += st.Retries
+			}
+		},
+	})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\nlci (lci_psr_cq_pin_i): message rate %.0f msgs/s\n", resLCI.MsgRate)
+	fmt.Fprintf(&b, "  %d LCI progress calls across both devices (try-locks + atomics, no\n", lciProgress)
+	fmt.Fprintf(&b, "  blocking progress lock to wait on), %d nonblocking-retry events\n", lciRetries)
+	if resMPI.MsgRate > 0 {
+		fmt.Fprintf(&b, "\nlci / mpi_i message-rate ratio: %.2fx\n", resLCI.MsgRate/resMPI.MsgRate)
+	}
+	return b.String(), nil
+}

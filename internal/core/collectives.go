@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hpxgo/internal/amt"
+)
+
+// Collective helpers built from actions and futures, the way HPX programs
+// compose broadcasts and reductions from plain remote calls.
+
+// Broadcast invokes a registered action on every locality (from locality
+// `from`) and waits for all of them to finish. Returns the first error.
+func (rt *Runtime) Broadcast(from int, timeout time.Duration, action string, args ...[]byte) error {
+	if from < 0 || from >= rt.Localities() {
+		return fmt.Errorf("core: invalid broadcast source %d", from)
+	}
+	id, ok := rt.ActionID(action)
+	if !ok {
+		return fmt.Errorf("core: unknown action %q", action)
+	}
+	src := rt.Locality(from)
+	futs := make([]*amt.Future[[][]byte], rt.Localities())
+	for l := 0; l < rt.Localities(); l++ {
+		futs[l] = src.CallID(l, id, args)
+	}
+	deadline := time.Now().Add(timeout)
+	for l, f := range futs {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("core: broadcast of %q timed out at locality %d", action, l)
+		}
+		if _, err := f.GetTimeout(remain); err != nil {
+			return fmt.Errorf("core: broadcast of %q to locality %d: %w", action, l, err)
+		}
+	}
+	return nil
+}
+
+// Reduce invokes a registered action on every locality and folds the
+// results on locality `root` with fold(acc, partial), seeded with the
+// root-local result. The fold order is locality order, so non-commutative
+// folds are deterministic.
+func (rt *Runtime) Reduce(root int, timeout time.Duration, action string,
+	fold func(acc, partial [][]byte) [][]byte, args ...[]byte) ([][]byte, error) {
+	if root < 0 || root >= rt.Localities() {
+		return nil, fmt.Errorf("core: invalid reduce root %d", root)
+	}
+	if fold == nil {
+		return nil, fmt.Errorf("core: nil fold function")
+	}
+	id, ok := rt.ActionID(action)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown action %q", action)
+	}
+	rootLoc := rt.Locality(root)
+	futs := make([]*amt.Future[[][]byte], rt.Localities())
+	for l := 0; l < rt.Localities(); l++ {
+		futs[l] = rootLoc.CallID(l, id, args)
+	}
+	deadline := time.Now().Add(timeout)
+	var acc [][]byte
+	for l, f := range futs {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("core: reduce of %q timed out at locality %d", action, l)
+		}
+		partial, err := f.GetTimeout(remain)
+		if err != nil {
+			return nil, fmt.Errorf("core: reduce of %q at locality %d: %w", action, l, err)
+		}
+		if l == 0 {
+			acc = partial
+		} else {
+			acc = fold(acc, partial)
+		}
+	}
+	return acc, nil
+}
+
+// Gather invokes an action on every locality and returns the per-locality
+// results indexed by locality id.
+func (rt *Runtime) Gather(root int, timeout time.Duration, action string, args ...[]byte) ([][][]byte, error) {
+	if root < 0 || root >= rt.Localities() {
+		return nil, fmt.Errorf("core: invalid gather root %d", root)
+	}
+	id, ok := rt.ActionID(action)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown action %q", action)
+	}
+	rootLoc := rt.Locality(root)
+	futs := make([]*amt.Future[[][]byte], rt.Localities())
+	for l := 0; l < rt.Localities(); l++ {
+		futs[l] = rootLoc.CallID(l, id, args)
+	}
+	out := make([][][]byte, rt.Localities())
+	deadline := time.Now().Add(timeout)
+	for l, f := range futs {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("core: gather of %q timed out at locality %d", action, l)
+		}
+		res, err := f.GetTimeout(remain)
+		if err != nil {
+			return nil, fmt.Errorf("core: gather of %q at locality %d: %w", action, l, err)
+		}
+		out[l] = res
+	}
+	return out, nil
+}

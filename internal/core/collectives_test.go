@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func collectiveRuntime(t *testing.T, localities int) (*Runtime, *atomic.Int64) {
+	t.Helper()
+	rt, err := NewRuntime(Config{Localities: localities, WorkersPerLocality: 2, Parcelport: "lci"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits atomic.Int64
+	rt.MustRegisterAction("mark", func(loc *Locality, args [][]byte) [][]byte {
+		hits.Add(1)
+		return nil
+	})
+	rt.MustRegisterAction("myid", func(loc *Locality, args [][]byte) [][]byte {
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, uint64(loc.ID()))
+		return [][]byte{out}
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt, &hits
+}
+
+func TestBroadcastHitsEveryLocality(t *testing.T) {
+	rt, hits := collectiveRuntime(t, 4)
+	if err := rt.Broadcast(1, 20*time.Second, "mark"); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 4 {
+		t.Fatalf("broadcast hit %d localities, want 4", hits.Load())
+	}
+}
+
+func TestBroadcastErrors(t *testing.T) {
+	rt, _ := collectiveRuntime(t, 2)
+	if err := rt.Broadcast(9, time.Second, "mark"); err == nil {
+		t.Fatal("invalid source should fail")
+	}
+	if err := rt.Broadcast(0, time.Second, "nope"); err == nil {
+		t.Fatal("unknown action should fail")
+	}
+}
+
+func TestReduceSumsIDs(t *testing.T) {
+	rt, _ := collectiveRuntime(t, 4)
+	sum, err := rt.Reduce(0, 20*time.Second, "myid", func(acc, partial [][]byte) [][]byte {
+		a := binary.LittleEndian.Uint64(acc[0])
+		p := binary.LittleEndian.Uint64(partial[0])
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, a+p)
+		return [][]byte{out}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(sum[0]); got != 0+1+2+3 {
+		t.Fatalf("reduce sum = %d, want 6", got)
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	rt, _ := collectiveRuntime(t, 2)
+	if _, err := rt.Reduce(5, time.Second, "myid", func(a, p [][]byte) [][]byte { return a }); err == nil {
+		t.Fatal("invalid root should fail")
+	}
+	if _, err := rt.Reduce(0, time.Second, "myid", nil); err == nil {
+		t.Fatal("nil fold should fail")
+	}
+	if _, err := rt.Reduce(0, time.Second, "nope", func(a, p [][]byte) [][]byte { return a }); err == nil {
+		t.Fatal("unknown action should fail")
+	}
+}
+
+func TestGatherCollectsPerLocality(t *testing.T) {
+	rt, _ := collectiveRuntime(t, 3)
+	res, err := rt.Gather(2, 20*time.Second, "myid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("gather returned %d entries", len(res))
+	}
+	for l, blobs := range res {
+		if got := binary.LittleEndian.Uint64(blobs[0]); got != uint64(l) {
+			t.Fatalf("gather[%d] = %d", l, got)
+		}
+	}
+}

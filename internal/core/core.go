@@ -1,0 +1,489 @@
+// Package core is the public facade of the runtime: the analogue of the HPX
+// programming model the paper's benchmarks are written against. It assembles
+// the whole stack — simulated fabric, communication library (MPI-like or
+// LCI-like), parcelport, parcel layer and per-locality task schedulers — and
+// exposes localities, registered actions, fire-and-forget Apply and
+// future-returning Call.
+//
+// All localities of the simulated cluster live in one process; each has its
+// own scheduler (worker pool), parcelport instance and parcel layer,
+// communicating exclusively through the fabric.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpxgo/internal/amt"
+	"hpxgo/internal/fabric"
+	"hpxgo/internal/lci"
+	"hpxgo/internal/mpisim"
+	"hpxgo/internal/parcel"
+	"hpxgo/internal/parcelport"
+	"hpxgo/internal/parcelport/lcipp"
+	"hpxgo/internal/parcelport/mpipp"
+	"hpxgo/internal/parcelport/tcppp"
+	"hpxgo/internal/serialization"
+	"hpxgo/internal/trace"
+)
+
+// continuationAction is the reserved action id that completes Call futures.
+const continuationAction = 0
+
+// ActionFunc is a registered remote action: it runs as a task on the target
+// locality and returns result blobs (nil for void actions).
+type ActionFunc func(loc *Locality, args [][]byte) [][]byte
+
+// Config assembles a runtime.
+type Config struct {
+	// Localities is the number of simulated compute nodes. Default 2.
+	Localities int
+	// WorkersPerLocality is the worker-thread count per locality. Default 2.
+	WorkersPerLocality int
+	// Parcelport is the Table 1 configuration name (e.g. "mpi_i",
+	// "lci_psr_cq_pin_i"). Default "lci" (the baseline).
+	Parcelport string
+	// ZeroCopyThreshold is HPX's zero-copy serialization threshold.
+	// Default 8192.
+	ZeroCopyThreshold int
+	// MaxConnections caps the connection cache per destination. Default 8192.
+	MaxConnections int
+	// MaxMessageBytes bounds one aggregated HPX message (0 = unlimited).
+	MaxMessageBytes int
+	// Fabric configures the simulated interconnect (Nodes is overwritten
+	// with Localities). Zero value selects fabric.DefaultConfig.
+	Fabric fabric.Config
+	// LCI tunes the LCI library (LCI parcelports only).
+	LCI lci.Config
+	// LCIDevices replicates the LCI device (and its fabric context) per
+	// locality — the §7.2 future-work configuration. Default 1.
+	LCIDevices int
+	// MPI tunes the MPI library (MPI parcelports only).
+	MPI mpisim.Config
+	// IdleSleep tunes worker backoff; see amt.Config.
+	IdleSleep time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Localities <= 0 {
+		c.Localities = 2
+	}
+	if c.WorkersPerLocality <= 0 {
+		c.WorkersPerLocality = 2
+	}
+	if c.Parcelport == "" {
+		c.Parcelport = "lci"
+	}
+	if c.ZeroCopyThreshold <= 0 {
+		c.ZeroCopyThreshold = serialization.DefaultZeroCopyThreshold
+	}
+	if c.Fabric.Nodes == 0 && c.Fabric.LatencyNs == 0 && c.Fabric.GbitsPerSec == 0 {
+		c.Fabric = fabric.DefaultConfig(c.Localities)
+	}
+	if c.LCIDevices <= 0 {
+		c.LCIDevices = 1
+	}
+	c.Fabric.Nodes = c.Localities
+	if c.Fabric.DevicesPerNode < c.LCIDevices {
+		c.Fabric.DevicesPerNode = c.LCIDevices
+	}
+}
+
+// Runtime is the simulated cluster: all localities plus the shared fabric
+// and action registry.
+type Runtime struct {
+	cfg    Config
+	ppCfg  parcelport.Config
+	net    *fabric.Network
+	locs   []*Locality
+	world  *mpisim.World // MPI transport only
+	tcpg   *tcppp.Group  // TCP transport only
+	tracer *trace.Tracer
+	regMu  sync.RWMutex
+	byName map[string]uint32
+	byID   []ActionFunc
+	names  []string
+
+	started atomic.Bool
+	stopped atomic.Bool
+}
+
+// NewRuntime builds (but does not start) a runtime. Register actions, then
+// call Start.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	cfg.fillDefaults()
+	ppCfg, err := parcelport.ParseConfig(cfg.Parcelport)
+	if err != nil {
+		return nil, err
+	}
+	net, err := fabric.NewNetwork(cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{cfg: cfg, ppCfg: ppCfg, net: net, byName: make(map[string]uint32), tracer: trace.New(0)}
+	// Reserve the continuation action.
+	rt.byID = append(rt.byID, rt.runContinuation)
+	rt.names = append(rt.names, "__continuation")
+	rt.byName["__continuation"] = continuationAction
+	// The no-op used by Barrier.
+	rt.byID = append(rt.byID, func(*Locality, [][]byte) [][]byte { return nil })
+	rt.names = append(rt.names, barrierActionName)
+	rt.byName[barrierActionName] = uint32(len(rt.byID) - 1)
+
+	switch ppCfg.Transport {
+	case parcelport.TransportMPI:
+		rt.world = mpisim.NewWorld(net, cfg.MPI)
+	case parcelport.TransportTCP:
+		g, err := tcppp.NewGroup(cfg.Localities, tcppp.Config{})
+		if err != nil {
+			return nil, err
+		}
+		rt.tcpg = g
+	}
+	rt.locs = make([]*Locality, cfg.Localities)
+	for i := range rt.locs {
+		loc, err := rt.buildLocality(i)
+		if err != nil {
+			return nil, err
+		}
+		rt.locs[i] = loc
+	}
+	return rt, nil
+}
+
+// buildLocality wires scheduler, parcelport and parcel layer for node i.
+func (rt *Runtime) buildLocality(i int) (*Locality, error) {
+	loc := &Locality{rt: rt, id: i, conts: make(map[uint64]*amt.Future[[][]byte])}
+	loc.sched = amt.New(amt.Config{
+		Workers:   rt.cfg.WorkersPerLocality,
+		Name:      fmt.Sprintf("locality-%d", i),
+		IdleSleep: rt.cfg.IdleSleep,
+	})
+	switch rt.ppCfg.Transport {
+	case parcelport.TransportMPI:
+		loc.pp = mpipp.New(rt.world.Comm(i), mpipp.Config{
+			ZeroCopyThreshold: rt.cfg.ZeroCopyThreshold,
+			Original:          rt.ppCfg.Original,
+		})
+	case parcelport.TransportLCI:
+		devs := make([]*lci.Device, rt.cfg.LCIDevices)
+		for di := range devs {
+			devs[di] = lci.NewDevice(rt.net.DeviceN(i, di), rt.cfg.LCI, nil)
+		}
+		pp, err := lcipp.NewMulti(devs, loc.sched, lcipp.Config{
+			ZeroCopyThreshold: rt.cfg.ZeroCopyThreshold,
+			Protocol:          rt.ppCfg.Protocol,
+			Completion:        rt.ppCfg.Completion,
+			Progress:          rt.ppCfg.Progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		loc.pp = pp
+		loc.lciDev = devs[0]
+	case parcelport.TransportTCP:
+		loc.pp = rt.tcpg.Parcelport(i)
+	}
+	loc.layer = parcel.NewLayer(rt.cfg.Localities, parcel.Config{
+		ZeroCopyThreshold: rt.cfg.ZeroCopyThreshold,
+		MaxConnections:    rt.cfg.MaxConnections,
+		Immediate:         rt.ppCfg.Immediate,
+		MaxMessageBytes:   rt.cfg.MaxMessageBytes,
+	}, loc.pp.Send)
+	loc.sched.SetBackground(loc.pp.BackgroundWork)
+	return loc, nil
+}
+
+// RegisterAction registers fn under name on every locality. Must be called
+// before Start; registration is process-wide so action ids agree everywhere.
+func (rt *Runtime) RegisterAction(name string, fn ActionFunc) (uint32, error) {
+	if rt.started.Load() {
+		return 0, fmt.Errorf("core: RegisterAction(%q) after Start", name)
+	}
+	rt.regMu.Lock()
+	defer rt.regMu.Unlock()
+	if _, dup := rt.byName[name]; dup {
+		return 0, fmt.Errorf("core: action %q already registered", name)
+	}
+	id := uint32(len(rt.byID))
+	rt.byID = append(rt.byID, fn)
+	rt.names = append(rt.names, name)
+	rt.byName[name] = id
+	return id, nil
+}
+
+// MustRegisterAction is RegisterAction, panicking on error (init-time use).
+func (rt *Runtime) MustRegisterAction(name string, fn ActionFunc) uint32 {
+	id, err := rt.RegisterAction(name, fn)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// ActionID resolves a registered action name.
+func (rt *Runtime) ActionID(name string) (uint32, bool) {
+	rt.regMu.RLock()
+	defer rt.regMu.RUnlock()
+	id, ok := rt.byName[name]
+	return id, ok
+}
+
+// action returns the handler for an id, or nil.
+func (rt *Runtime) action(id uint32) ActionFunc {
+	rt.regMu.RLock()
+	defer rt.regMu.RUnlock()
+	if int(id) >= len(rt.byID) {
+		return nil
+	}
+	return rt.byID[id]
+}
+
+// Start launches every locality's parcelport and scheduler.
+func (rt *Runtime) Start() error {
+	if !rt.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("core: runtime already started")
+	}
+	for _, loc := range rt.locs {
+		loc := loc
+		if err := loc.pp.Start(loc.deliver); err != nil {
+			return err
+		}
+		if err := loc.sched.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shutdown stops schedulers and parcelports. In-flight work is abandoned.
+func (rt *Runtime) Shutdown() {
+	if !rt.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, loc := range rt.locs {
+		loc.sched.Stop()
+	}
+	for _, loc := range rt.locs {
+		loc.pp.Stop()
+	}
+}
+
+// Localities returns the number of localities.
+func (rt *Runtime) Localities() int { return len(rt.locs) }
+
+// Locality returns locality i.
+func (rt *Runtime) Locality(i int) *Locality { return rt.locs[i] }
+
+// ParcelportName returns the full Table 1 configuration string.
+func (rt *Runtime) ParcelportName() string { return rt.ppCfg.String() }
+
+// Network exposes the fabric (tests and stats).
+func (rt *Runtime) Network() *fabric.Network { return rt.net }
+
+// Trace returns the runtime's event tracer (disabled by default; call
+// Trace().Enable(true) to record).
+func (rt *Runtime) Trace() *trace.Tracer { return rt.tracer }
+
+// MPIComm exposes a locality's MPI communicator for profiling; nil when the
+// runtime does not use the MPI transport.
+func (rt *Runtime) MPIComm(loc int) *mpisim.Comm {
+	if rt.world == nil {
+		return nil
+	}
+	return rt.world.Comm(loc)
+}
+
+// LCIDevice exposes a locality's LCI device for profiling; nil when the
+// runtime does not use the LCI transport.
+func (l *Locality) LCIDevice() *lci.Device { return l.lciDev }
+
+// Barrier synchronizes all localities: locality 0 calls a no-op on everyone
+// and waits. Returns false on timeout.
+func (rt *Runtime) Barrier(timeout time.Duration) bool {
+	loc0 := rt.locs[0]
+	barrierID, _ := rt.ActionID(barrierActionName)
+	futs := make([]*amt.Future[[][]byte], 0, len(rt.locs)-1)
+	for i := 1; i < len(rt.locs); i++ {
+		futs = append(futs, loc0.CallID(i, barrierID, nil))
+	}
+	deadline := time.Now().Add(timeout)
+	for _, f := range futs {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		if _, err := f.GetTimeout(remain); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// barrierActionName is the reserved no-op action used by Barrier.
+const barrierActionName = "__barrier"
+
+// runContinuation is the reserved action that fulfils Call futures:
+// args[0] = 8-byte continuation id, args[1:] = results.
+func (rt *Runtime) runContinuation(loc *Locality, args [][]byte) [][]byte {
+	if len(args) == 0 || len(args[0]) != 8 {
+		return nil
+	}
+	id := binary.LittleEndian.Uint64(args[0])
+	loc.contMu.Lock()
+	f := loc.conts[id]
+	delete(loc.conts, id)
+	loc.contMu.Unlock()
+	if f != nil {
+		f.Set(args[1:], nil)
+	}
+	return nil
+}
+
+// Locality is one simulated compute node: scheduler, parcelport, parcel
+// layer and continuation table.
+type Locality struct {
+	rt     *Runtime
+	id     int
+	sched  *amt.Scheduler
+	pp     parcelport.Parcelport
+	layer  *parcel.Layer
+	lciDev *lci.Device // LCI transport only (stats)
+
+	contMu   sync.Mutex
+	conts    map[uint64]*amt.Future[[][]byte]
+	nextCont atomic.Uint64
+
+	parcelsExecuted atomic.Uint64
+}
+
+// ID returns the locality id (the MPI-rank analogue).
+func (l *Locality) ID() int { return l.id }
+
+// Scheduler exposes the locality's task scheduler.
+func (l *Locality) Scheduler() *amt.Scheduler { return l.sched }
+
+// ParcelLayer exposes the parcel layer (stats).
+func (l *Locality) ParcelLayer() *parcel.Layer { return l.layer }
+
+// ParcelsExecuted counts action invocations that arrived via parcels.
+func (l *Locality) ParcelsExecuted() uint64 { return l.parcelsExecuted.Load() }
+
+// PendingContinuations reports Call futures still awaiting their remote
+// results. A steadily growing value means calls are timing out (their table
+// entries are reclaimed only when the response eventually arrives).
+func (l *Locality) PendingContinuations() int {
+	l.contMu.Lock()
+	defer l.contMu.Unlock()
+	return len(l.conts)
+}
+
+// Spawn schedules a local task.
+func (l *Locality) Spawn(f func()) { l.sched.Spawn(f) }
+
+// Async runs fn as a local task and returns a future for its result.
+func Async[T any](l *Locality, fn func() (T, error)) *amt.Future[T] {
+	return amt.Async(l.sched, fn)
+}
+
+// Apply invokes a registered action on dst, fire-and-forget.
+func (l *Locality) Apply(dst int, action string, args ...[]byte) error {
+	id, ok := l.rt.ActionID(action)
+	if !ok {
+		return fmt.Errorf("core: unknown action %q", action)
+	}
+	return l.ApplyID(dst, id, args)
+}
+
+// ApplyID is Apply with a pre-resolved action id (hot paths).
+func (l *Locality) ApplyID(dst int, id uint32, args [][]byte) error {
+	if dst < 0 || dst >= l.rt.Localities() {
+		return fmt.Errorf("core: invalid destination locality %d", dst)
+	}
+	if dst == l.id {
+		// Local invocation short-circuits the network, as in HPX.
+		fn := l.rt.action(id)
+		if fn == nil {
+			return fmt.Errorf("core: unknown action id %d", id)
+		}
+		l.sched.Spawn(func() {
+			fn(l, args)
+		})
+		return nil
+	}
+	l.rt.tracer.Emit("parcel", "apply", int64(dst))
+	l.layer.Put(&serialization.Parcel{Source: l.id, Dest: dst, Action: id, Args: args})
+	return nil
+}
+
+// Call invokes an action on dst and returns a future for its results.
+func (l *Locality) Call(dst int, action string, args ...[]byte) *amt.Future[[][]byte] {
+	f := amt.NewFuture[[][]byte](l.sched)
+	id, ok := l.rt.ActionID(action)
+	if !ok {
+		f.Set(nil, fmt.Errorf("core: unknown action %q", action))
+		return f
+	}
+	return l.callID(dst, id, args, f)
+}
+
+// CallID is Call with a pre-resolved action id.
+func (l *Locality) CallID(dst int, id uint32, args [][]byte) *amt.Future[[][]byte] {
+	return l.callID(dst, id, args, amt.NewFuture[[][]byte](l.sched))
+}
+
+func (l *Locality) callID(dst int, id uint32, args [][]byte, f *amt.Future[[][]byte]) *amt.Future[[][]byte] {
+	if dst < 0 || dst >= l.rt.Localities() {
+		f.Set(nil, fmt.Errorf("core: invalid destination locality %d", dst))
+		return f
+	}
+	fn := l.rt.action(id)
+	if fn == nil {
+		f.Set(nil, fmt.Errorf("core: unknown action id %d", id))
+		return f
+	}
+	if dst == l.id {
+		l.sched.Spawn(func() {
+			f.Set(fn(l, args), nil)
+		})
+		return f
+	}
+	l.rt.tracer.Emit("parcel", "call", int64(dst))
+	cid := l.nextCont.Add(1)
+	l.contMu.Lock()
+	l.conts[cid] = f
+	l.contMu.Unlock()
+	l.layer.Put(&serialization.Parcel{Source: l.id, Dest: dst, Action: id, ContID: cid, Args: args})
+	return f
+}
+
+// deliver is the parcelport's delivery callback: decode the HPX message and
+// spawn one task per parcel.
+func (l *Locality) deliver(m *serialization.Message) {
+	parcels, err := serialization.Decode(m)
+	if err != nil {
+		return // corrupted message: drop (protocol bug surfaced by tests)
+	}
+	l.rt.tracer.Emit("parcel", "deliver", int64(len(parcels)))
+	for _, p := range parcels {
+		p := p
+		fn := l.rt.action(p.Action)
+		if fn == nil {
+			continue
+		}
+		l.sched.Spawn(func() {
+			l.parcelsExecuted.Add(1)
+			l.rt.tracer.Emit("action", "run", int64(p.Action))
+			results := fn(l, p.Args)
+			if p.ContID != 0 {
+				var idBuf [8]byte
+				binary.LittleEndian.PutUint64(idBuf[:], p.ContID)
+				args := append([][]byte{idBuf[:]}, results...)
+				_ = l.ApplyID(p.Source, continuationAction, args)
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hpxgo/internal/parcelport"
+	"hpxgo/internal/parcelport/lcipp"
+	"hpxgo/internal/parcelport/mpipp"
+	"hpxgo/internal/parcelport/tcppp"
+)
+
+// StatsText renders the runtime's performance counters — the analogue of
+// HPX's performance-counter interface — as an aligned text report: one
+// block per locality covering the parcel layer, the parcelport and the
+// transport beneath it.
+func (rt *Runtime) StatsText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime counters (%s, %d localities)\n", rt.ParcelportName(), rt.Localities())
+	for i, loc := range rt.locs {
+		fmt.Fprintf(&b, "locality %d:\n", i)
+		ls := loc.layer.Stats()
+		fmt.Fprintf(&b, "  parcels sent %d in %d messages (%d aggregated, %d cache-exhausted), actions run %d\n",
+			ls.ParcelsSent, ls.MessagesSent, ls.AggregatedSends, ls.CacheExhausted, loc.ParcelsExecuted())
+		switch pp := loc.pp.(type) {
+		case *mpipp.Parcelport:
+			ps := pp.Stats()
+			fmt.Fprintf(&b, "  mpi parcelport: %d msgs sent / %d recvd, piggybacked %d nzc / %d trans, pending conns %d\n",
+				ps.MessagesSent, ps.MessagesRecvd, ps.HeadersPiggyNZC, ps.HeadersPiggyTr, pp.PendingConnections())
+			cs := rt.world.Comm(i).Stats()
+			fmt.Fprintf(&b, "  mpi library: %d Test calls, %d lock acquisitions, %v lock wait, %d posted / %d unexpected\n",
+				cs.TestCalls, cs.LockAcquires, cs.LockWait.Round(1000), cs.PostedRecvs, cs.UnexpectedMsgs)
+		case *lcipp.Parcelport:
+			ps := pp.Stats()
+			fmt.Fprintf(&b, "  lci parcelport: %d msgs sent / %d recvd, %d retries, %d sync polls, %d devices\n",
+				ps.MessagesSent, ps.MessagesRecvd, ps.SendRetries, ps.SyncPolls, pp.Devices())
+			ds := loc.lciDev.Stats()
+			fmt.Fprintf(&b, "  lci device 0: %d medium / %d puts / %d long sent, %d progress calls, %d unexpected\n",
+				ds.MediumSent, ds.PutsSent, ds.LongSent, ds.ProgressCalls, ds.Unexpected)
+		case *tcppp.Parcelport:
+			ps := pp.Stats()
+			fmt.Fprintf(&b, "  tcp parcelport: %d msgs / %d bytes sent, %d msgs / %d bytes recvd\n",
+				ps.MessagesSent, ps.BytesSent, ps.MessagesRecvd, ps.BytesRecvd)
+		}
+		if rt.ppCfg.Transport != parcelport.TransportTCP {
+			fs := rt.net.Device(i).Stats()
+			fmt.Fprintf(&b, "  fabric: injected %d pkts / %d B, delivered %d pkts / %d B, backpressured %d\n",
+				fs.InjectedPackets, fs.InjectedBytes, fs.DeliveredPackets, fs.DeliveredBytes, fs.Backpressured)
+		}
+	}
+	return b.String()
+}

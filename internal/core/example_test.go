@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"hpxgo/internal/core"
+)
+
+// Example shows the smallest complete program: two localities, one action,
+// one remote call.
+func Example() {
+	rt, err := core.NewRuntime(core.Config{Localities: 2, Parcelport: "lci"})
+	if err != nil {
+		panic(err)
+	}
+	rt.MustRegisterAction("greet", func(loc *core.Locality, args [][]byte) [][]byte {
+		return [][]byte{[]byte(fmt.Sprintf("hello %s from locality %d", args[0], loc.ID()))}
+	})
+	if err := rt.Start(); err != nil {
+		panic(err)
+	}
+	defer rt.Shutdown()
+
+	res, err := rt.Locality(0).Call(1, "greet", []byte("world")).GetTimeout(time.Minute)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(res[0]))
+	// Output: hello world from locality 1
+}
+
+// ExampleRuntime_Reduce sums a per-locality value across the cluster.
+func ExampleRuntime_Reduce() {
+	rt, err := core.NewRuntime(core.Config{Localities: 4, Parcelport: "mpi_i"})
+	if err != nil {
+		panic(err)
+	}
+	rt.MustRegisterAction("one", func(loc *core.Locality, args [][]byte) [][]byte {
+		return [][]byte{{1}}
+	})
+	if err := rt.Start(); err != nil {
+		panic(err)
+	}
+	defer rt.Shutdown()
+
+	sum, err := rt.Reduce(0, time.Minute, "one", func(acc, partial [][]byte) [][]byte {
+		return [][]byte{{acc[0][0] + partial[0][0]}}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(int(sum[0][0]))
+	// Output: 4
+}
+
+// ExampleLocality_Apply sends fire-and-forget work to a peer locality.
+func ExampleLocality_Apply() {
+	rt, err := core.NewRuntime(core.Config{Localities: 2, Parcelport: "lci"})
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan string, 1)
+	rt.MustRegisterAction("log", func(loc *core.Locality, args [][]byte) [][]byte {
+		done <- fmt.Sprintf("locality %d got %q", loc.ID(), args[0])
+		return nil
+	})
+	if err := rt.Start(); err != nil {
+		panic(err)
+	}
+	defer rt.Shutdown()
+
+	if err := rt.Locality(0).Apply(1, "log", []byte("fire-and-forget")); err != nil {
+		panic(err)
+	}
+	fmt.Println(<-done)
+	// Output: locality 1 got "fire-and-forget"
+}

@@ -1,0 +1,52 @@
+package fabric
+
+import "testing"
+
+func benchNet(b *testing.B, cfg Config) *Network {
+	b.Helper()
+	cfg.Nodes = 2
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+func BenchmarkInjectPoll8B(b *testing.B) {
+	n := benchNet(b, Config{})
+	src, dst := n.Device(0), n.Device(1)
+	payload := make([]byte, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := src.Inject(Packet{Dst: 1, Data: payload}); err != nil {
+			b.Fatal(err)
+		}
+		for dst.Poll() == nil {
+		}
+	}
+}
+
+func BenchmarkInjectPoll16K(b *testing.B) {
+	n := benchNet(b, Config{})
+	src, dst := n.Device(0), n.Device(1)
+	payload := make([]byte, 16*1024)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if err := src.Inject(Packet{Dst: 1, Data: payload}); err != nil {
+			b.Fatal(err)
+		}
+		for dst.Poll() == nil {
+		}
+	}
+}
+
+func BenchmarkPollEmpty(b *testing.B) {
+	n := benchNet(b, Config{Rails: 2})
+	dst := n.Device(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if dst.Poll() != nil {
+			b.Fatal("unexpected packet")
+		}
+	}
+}

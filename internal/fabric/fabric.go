@@ -1,0 +1,312 @@
+// Package fabric simulates the low-level network that the communication
+// libraries (internal/mpisim, internal/lci) are built on. It stands in for
+// the InfiniBand NIC + verbs/libfabric stack of the paper's testbeds.
+//
+// The simulation reproduces the properties the layers above actually depend
+// on, rather than modelling hardware details:
+//
+//   - Finite link throughput: each (source, destination, rail) link serializes
+//     packet transmission according to a configured bandwidth.
+//   - Nonzero latency: a packet only becomes visible to the receiver once its
+//     computed arrival time has passed.
+//   - Progress-driven reception: nothing is delivered until the receiving
+//     library polls its Device. This is what makes "who calls progress"
+//     (dedicated thread vs. idle worker threads) a meaningful design axis.
+//   - Out-of-order delivery: with Rails > 1 packets between the same pair of
+//     nodes may arrive out of injection order, as LCI's transport permits.
+//   - Shared receive structures: the per-device RX queues are lock-protected
+//     and become real contention points when many threads poll concurrently.
+//
+// Delivery is reliable: packets are never dropped or corrupted (matching the
+// reliable-connection InfiniBand transport used in the paper). Tests may use
+// the fault hooks to exercise library backpressure paths.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBackpressure is returned by Inject when the destination rail queue is
+// full. The caller is expected to retry later, mirroring the nonblocking
+// "temporarily unavailable resources" semantics LCI exposes to its users.
+var ErrBackpressure = errors.New("fabric: injection queue full")
+
+// Config describes a simulated cluster interconnect.
+type Config struct {
+	// Nodes is the number of compute nodes (one Device per node).
+	Nodes int
+	// LatencyNs is the one-way wire latency per packet in nanoseconds.
+	LatencyNs int64
+	// GbitsPerSec is the per-rail link bandwidth. Zero disables bandwidth
+	// serialization (infinitely fast links).
+	GbitsPerSec float64
+	// Rails is the number of independent delivery rails per (src, dst) pair.
+	// Packets on different rails may be delivered out of order. Must be >= 1;
+	// zero defaults to 1.
+	Rails int
+	// MaxInflight bounds the number of queued packets per rail; Inject
+	// returns ErrBackpressure beyond it. Zero means unlimited.
+	MaxInflight int
+	// PacketOverheadBytes is added to every packet's payload size when
+	// computing transmission time (headers, CRCs, ...).
+	PacketOverheadBytes int
+	// DevicesPerNode replicates the NIC context per node (the "multiple
+	// low-level network contexts" of the paper's §7.2 future work). Device
+	// i of a node delivers only to device i of the destination. Zero
+	// defaults to 1.
+	DevicesPerNode int
+}
+
+// DefaultConfig returns a configuration loosely modelled on a single HDR
+// InfiniBand rail (as in the SDSC Expanse system of the paper, Table 2).
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:               nodes,
+		LatencyNs:           1000, // ~1us one-way
+		GbitsPerSec:         100,  // HDR 2x50Gbps
+		Rails:               1,
+		PacketOverheadBytes: 64,
+	}
+}
+
+// Network is a simulated interconnect between Config.Nodes nodes.
+type Network struct {
+	cfg     Config
+	start   time.Time
+	devices [][]*Device // [node][deviceIndex]
+}
+
+// NewNetwork builds the network and Config.DevicesPerNode devices per node.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("fabric: Nodes must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.Rails <= 0 {
+		cfg.Rails = 1
+	}
+	if cfg.DevicesPerNode <= 0 {
+		cfg.DevicesPerNode = 1
+	}
+	n := &Network{cfg: cfg, start: time.Now()}
+	n.devices = make([][]*Device, cfg.Nodes)
+	for i := range n.devices {
+		n.devices[i] = make([]*Device, cfg.DevicesPerNode)
+		for di := range n.devices[i] {
+			d := &Device{net: n, node: i, idx: di}
+			d.in = make([][]rail, cfg.Nodes)
+			for s := range d.in {
+				d.in[s] = make([]rail, cfg.Rails)
+			}
+			n.devices[i][di] = d
+		}
+	}
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Device returns the first NIC of the given node.
+func (n *Network) Device(node int) *Device { return n.devices[node][0] }
+
+// DeviceN returns device idx of the given node.
+func (n *Network) DeviceN(node, idx int) *Device { return n.devices[node][idx] }
+
+// nowNs returns monotonic nanoseconds since network creation.
+func (n *Network) nowNs() int64 { return time.Since(n.start).Nanoseconds() }
+
+// xmitNs returns the transmission time for a payload of the given size.
+func (n *Network) xmitNs(payload int) int64 {
+	if n.cfg.GbitsPerSec <= 0 {
+		return 0
+	}
+	bits := float64(payload+n.cfg.PacketOverheadBytes) * 8
+	return int64(bits / n.cfg.GbitsPerSec) // Gbit/s == bit/ns
+}
+
+// rail is one FIFO delivery lane of a (src, dst) link. Packets within a rail
+// stay in order; distinct rails are independent.
+type rail struct {
+	mu         sync.Mutex
+	q          []*Packet
+	head       int
+	nextFreeNs int64 // when the rail's "wire" is free again
+}
+
+// Stats are cumulative per-device counters.
+type Stats struct {
+	InjectedPackets  uint64
+	InjectedBytes    uint64
+	DeliveredPackets uint64
+	DeliveredBytes   uint64
+	Backpressured    uint64
+}
+
+// Device is a node's network interface. Injection is thread-safe; polling is
+// thread-safe but serializes on per-rail locks, which is the intended
+// contention point.
+type Device struct {
+	net  *Network
+	node int
+	idx  int // device index within the node
+
+	// in[src][rail] holds packets heading to this device from src.
+	in [][]rail
+
+	railRR atomic.Uint64 // round-robin rail selector for injection
+	pollRR atomic.Uint64 // rotating poll start position
+
+	injectedPackets  atomic.Uint64
+	injectedBytes    atomic.Uint64
+	deliveredPackets atomic.Uint64
+	deliveredBytes   atomic.Uint64
+	backpressured    atomic.Uint64
+}
+
+// Node returns the node id of this device.
+func (d *Device) Node() int { return d.node }
+
+// Index returns the device index within its node.
+func (d *Device) Index() int { return d.idx }
+
+// Inject transmits a packet from this device to p.Dst. The payload is copied
+// into a fabric-owned buffer (the "DMA"), so the caller may reuse its buffer
+// immediately — this is what lets the LCI layer return pool packets to its
+// freelist as soon as the send is injected.
+//
+// Inject returns ErrBackpressure when the destination rail is full.
+func (d *Device) Inject(p Packet) error {
+	if p.Dst < 0 || p.Dst >= len(d.net.devices) {
+		return fmt.Errorf("fabric: invalid destination node %d", p.Dst)
+	}
+	p.Src = d.node
+	// Device i talks to device i: replicated contexts are independent lanes.
+	dst := d.net.devices[p.Dst][d.idx]
+
+	railIdx := 0
+	if d.net.cfg.Rails > 1 {
+		railIdx = int(d.railRR.Add(1) % uint64(d.net.cfg.Rails))
+	}
+	r := &dst.in[d.node][railIdx]
+
+	// Copy payload into a fabric-owned buffer.
+	stored := &Packet{Src: p.Src, Dst: p.Dst, Op: p.Op, T0: p.T0, T1: p.T1, T2: p.T2}
+	if len(p.Data) > 0 {
+		stored.Data = make([]byte, len(p.Data))
+		copy(stored.Data, p.Data)
+	}
+
+	now := d.net.nowNs()
+	xmit := d.net.xmitNs(len(p.Data))
+
+	r.mu.Lock()
+	if d.net.cfg.MaxInflight > 0 && len(r.q)-r.head >= d.net.cfg.MaxInflight {
+		r.mu.Unlock()
+		d.backpressured.Add(1)
+		return ErrBackpressure
+	}
+	start := now
+	if r.nextFreeNs > start {
+		start = r.nextFreeNs
+	}
+	r.nextFreeNs = start + xmit
+	stored.arriveNs = start + xmit + d.net.cfg.LatencyNs
+	r.q = append(r.q, stored)
+	r.mu.Unlock()
+
+	d.injectedPackets.Add(1)
+	d.injectedBytes.Add(uint64(len(p.Data)))
+	return nil
+}
+
+// Poll returns one arrived packet destined to this device, or nil if none has
+// arrived yet. It scans source links starting at a rotating position so no
+// source is starved.
+func (d *Device) Poll() *Packet {
+	now := d.net.nowNs()
+	nLinks := len(d.in) * len(d.in[0])
+	startAt := int(d.pollRR.Add(1))
+	for i := 0; i < nLinks; i++ {
+		idx := (startAt + i) % nLinks
+		r := &d.in[idx/len(d.in[0])][idx%len(d.in[0])]
+		if p := r.tryPop(now); p != nil {
+			d.deliveredPackets.Add(1)
+			d.deliveredBytes.Add(uint64(len(p.Data)))
+			return p
+		}
+	}
+	return nil
+}
+
+// PollInto appends up to max arrived packets to out and returns the extended
+// slice. It is the batched form of Poll used by progress engines.
+func (d *Device) PollInto(out []*Packet, max int) []*Packet {
+	for i := 0; i < max; i++ {
+		p := d.Poll()
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Pending reports whether any packet is queued for this device, arrived or
+// not. Intended for tests and shutdown draining.
+func (d *Device) Pending() bool {
+	for s := range d.in {
+		for r := range d.in[s] {
+			q := &d.in[s][r]
+			q.mu.Lock()
+			n := len(q.q) - q.head
+			q.mu.Unlock()
+			if n > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		InjectedPackets:  d.injectedPackets.Load(),
+		InjectedBytes:    d.injectedBytes.Load(),
+		DeliveredPackets: d.deliveredPackets.Load(),
+		DeliveredBytes:   d.deliveredBytes.Load(),
+		Backpressured:    d.backpressured.Load(),
+	}
+}
+
+// tryPop pops the rail's head packet if it has arrived by now.
+func (r *rail) tryPop(now int64) *Packet {
+	if !r.mu.TryLock() {
+		// Another poller holds this rail; skip rather than block, in the
+		// spirit of LCI's fine-grained try-locks. Callers scan other rails.
+		return nil
+	}
+	defer r.mu.Unlock()
+	if r.head >= len(r.q) {
+		if r.head > 0 {
+			r.q = r.q[:0]
+			r.head = 0
+		}
+		return nil
+	}
+	p := r.q[r.head]
+	if p.arriveNs > now {
+		return nil
+	}
+	r.q[r.head] = nil
+	r.head++
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+	}
+	return p
+}

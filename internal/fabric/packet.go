@@ -1,0 +1,22 @@
+package fabric
+
+// Packet is the unit the fabric moves. The fabric itself assigns no meaning
+// to Op, T0, or T1: they are an opcode and two 64-bit metadata words for the
+// communication library built on top (tag bits, handle indices, sizes, ...).
+type Packet struct {
+	Src, Dst int
+	Op       uint8
+	T0, T1   uint64
+	// T2 is a third metadata word. mpisim uses it for the per-peer sequence
+	// numbers that implement MPI's non-overtaking matching order on top of
+	// the (unordered, multi-rail) fabric; the LCI library leaves it unused —
+	// LCI explicitly does not guarantee delivery order.
+	T2   uint64
+	Data []byte
+
+	arriveNs int64 // set by Inject; visible to Poll once passed
+}
+
+// ArrivedAtNs exposes the computed arrival time (nanoseconds since network
+// creation) for tests that validate the latency/bandwidth model.
+func (p *Packet) ArrivedAtNs() int64 { return p.arriveNs }

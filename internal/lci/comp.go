@@ -1,0 +1,162 @@
+package lci
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CompType classifies a completion record.
+type CompType uint8
+
+const (
+	// CompSend signals local completion of Sendm/Sendl: the source buffer may
+	// be reused.
+	CompSend CompType = iota
+	// CompRecv signals that a posted Recvm/Recvl buffer has been filled.
+	CompRecv
+	// CompPut signals, at the target, the arrival of a dynamic put. Data
+	// holds the LCI-allocated buffer.
+	CompPut
+)
+
+func (t CompType) String() string {
+	switch t {
+	case CompSend:
+		return "send"
+	case CompRecv:
+		return "recv"
+	case CompPut:
+		return "put"
+	default:
+		return "unknown"
+	}
+}
+
+// Request is a completion record, delivered through one of the completion
+// mechanisms. It is the LCI analogue of an MPI status, with the user context
+// threaded through from the posting call.
+type Request struct {
+	Type CompType
+	Rank int    // peer rank
+	Tag  uint32 // message tag (put: the 32-bit immediate/meta word)
+	Data []byte // recv/put payload (recv: the posted buffer trimmed to size)
+	Ctx  any    // user context given at the posting call
+}
+
+// Comp is a completion mechanism: something a finished operation signals.
+// LCI lets nearly any communication primitive pair with any Comp; the three
+// implementations here are CompQueue, Synchronizer and Handler.
+type Comp interface {
+	signal(Request)
+}
+
+// CompQueue is a multi-producer multi-consumer completion queue. Push is
+// lock-free via the bounded ring; a rarely-used overflow list keeps Push
+// non-dropping when a burst outruns the consumer.
+type CompQueue struct {
+	r *ring[Request]
+
+	ovMu     sync.Mutex
+	overflow []Request
+	ovLen    atomic.Int64
+}
+
+// NewCompQueue creates a completion queue with the given capacity hint.
+func NewCompQueue(capacity int) *CompQueue {
+	if capacity <= 0 {
+		capacity = 1 << 14
+	}
+	return &CompQueue{r: newRing[Request](capacity)}
+}
+
+func (q *CompQueue) signal(req Request) { q.Push(req) }
+
+// Push enqueues a completion record. It never blocks and never drops.
+func (q *CompQueue) Push(req Request) {
+	if q.r.TryPush(req) {
+		return
+	}
+	q.ovMu.Lock()
+	q.overflow = append(q.overflow, req)
+	q.ovMu.Unlock()
+	q.ovLen.Add(1)
+}
+
+// Pop dequeues one completion record, if any.
+func (q *CompQueue) Pop() (Request, bool) {
+	if req, ok := q.r.TryPop(); ok {
+		return req, true
+	}
+	if q.ovLen.Load() > 0 {
+		q.ovMu.Lock()
+		if len(q.overflow) > 0 {
+			req := q.overflow[0]
+			q.overflow = q.overflow[1:]
+			q.ovMu.Unlock()
+			q.ovLen.Add(-1)
+			return req, true
+		}
+		q.ovMu.Unlock()
+	}
+	return Request{}, false
+}
+
+// Len returns the approximate queue length.
+func (q *CompQueue) Len() int { return q.r.Len() + int(q.ovLen.Load()) }
+
+// Synchronizer is the LCI analogue of an MPI request, generalized to allow
+// multiple producers: it fires once `expected` signals have arrived. Unlike a
+// completion queue it must be polled individually, which is exactly the cost
+// the paper's `sy` variants pay.
+type Synchronizer struct {
+	expected int64
+	count    atomic.Int64
+
+	mu   sync.Mutex
+	reqs []Request
+}
+
+// NewSynchronizer creates a synchronizer that triggers after expected signals.
+func NewSynchronizer(expected int) *Synchronizer {
+	if expected <= 0 {
+		expected = 1
+	}
+	return &Synchronizer{expected: int64(expected)}
+}
+
+func (s *Synchronizer) signal(req Request) {
+	s.mu.Lock()
+	s.reqs = append(s.reqs, req)
+	s.mu.Unlock()
+	s.count.Add(1)
+}
+
+// Test reports whether the synchronizer has triggered, without resetting it.
+func (s *Synchronizer) Test() bool { return s.count.Load() >= s.expected }
+
+// Requests returns the accumulated completion records once triggered, or nil.
+func (s *Synchronizer) Requests() []Request {
+	if !s.Test() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Request, len(s.reqs))
+	copy(out, s.reqs)
+	return out
+}
+
+// Reset re-arms the synchronizer for reuse.
+func (s *Synchronizer) Reset() {
+	s.mu.Lock()
+	s.reqs = s.reqs[:0]
+	s.mu.Unlock()
+	s.count.Store(0)
+}
+
+// Handler adapts a function to the Comp interface: the function runs inline
+// on the progress thread when the operation completes. This mirrors LCI's
+// function-handler completion mechanism.
+type Handler func(Request)
+
+func (h Handler) signal(req Request) { h(req) }

@@ -1,0 +1,207 @@
+package lci
+
+import (
+	"sync"
+
+	"hpxgo/internal/fabric"
+)
+
+// matchKind separates the medium and long matching namespaces so a Recvm can
+// never capture a rendezvous RTS with the same tag.
+type matchKind uint8
+
+const (
+	kindMedium matchKind = iota
+	kindLong
+)
+
+// postedRecv is a receive posted by the user, waiting for its message.
+type postedRecv struct {
+	src  int // AnyRank for wildcard
+	tag  uint32
+	buf  []byte
+	comp Comp
+	ctx  any
+	long bool
+}
+
+// matchTable performs tag matching. It is sharded by (kind, tag) with one
+// short mutex per shard — the fine-grained locking the paper contrasts with
+// MPI's coarse progress lock. Entries carry the source rank so wildcard
+// (AnyRank) receives fall out of the same scan.
+type matchTable struct {
+	shards []matchShard
+	mask   uint32
+}
+
+type matchShard struct {
+	mu     sync.Mutex
+	posted map[uint64][]*postedRecv
+	unexp  map[uint64][]*fabric.Packet
+}
+
+func newMatchTable(nShards int) *matchTable {
+	n := 1
+	for n < nShards {
+		n <<= 1
+	}
+	t := &matchTable{shards: make([]matchShard, n), mask: uint32(n - 1)}
+	for i := range t.shards {
+		t.shards[i].posted = make(map[uint64][]*postedRecv)
+		t.shards[i].unexp = make(map[uint64][]*fabric.Packet)
+	}
+	return t
+}
+
+func matchKey(kind matchKind, tag uint32) uint64 {
+	return uint64(kind)<<32 | uint64(tag)
+}
+
+func (t *matchTable) shard(key uint64) *matchShard {
+	// Fibonacci hash of the key to spread consecutive tags across shards.
+	h := uint32(key*0x9E3779B97F4A7C15>>33) ^ uint32(key)
+	return &t.shards[h&t.mask]
+}
+
+// postRecv registers a posted receive. If a matching unexpected message is
+// already queued it is removed and returned instead (the caller delivers it),
+// and the receive is not registered.
+func (t *matchTable) postRecv(kind matchKind, src int, tag uint32, pr *postedRecv) *fabric.Packet {
+	key := matchKey(kind, tag)
+	s := t.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if list := s.unexp[key]; len(list) > 0 {
+		for i, pkt := range list {
+			if src == AnyRank || pkt.Src == src {
+				s.unexp[key] = deleteAt(list, i)
+				return pkt
+			}
+		}
+	}
+	s.posted[key] = append(s.posted[key], pr)
+	return nil
+}
+
+// postRecvFront re-registers a receive at the head of its list (used when a
+// rendezvous accept must be retried).
+func (t *matchTable) postRecvFront(kind matchKind, src int, tag uint32, pr *postedRecv) {
+	key := matchKey(kind, tag)
+	s := t.shard(key)
+	s.mu.Lock()
+	s.posted[key] = append([]*postedRecv{pr}, s.posted[key]...)
+	s.mu.Unlock()
+}
+
+// arrive matches an incoming packet against posted receives. If no receive
+// matches, the packet is queued as unexpected and nil is returned.
+func (t *matchTable) arrive(kind matchKind, pkt *fabric.Packet, tag uint32) *postedRecv {
+	key := matchKey(kind, tag)
+	s := t.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if list := s.posted[key]; len(list) > 0 {
+		for i, pr := range list {
+			if pr.src == AnyRank || pr.src == pkt.Src {
+				s.posted[key] = deletePRAt(list, i)
+				return pr
+			}
+		}
+	}
+	s.unexp[key] = append(s.unexp[key], pkt)
+	return nil
+}
+
+// pushUnexpected queues a packet as unexpected without attempting a match.
+func (t *matchTable) pushUnexpected(kind matchKind, src int, tag uint32, pkt *fabric.Packet) {
+	key := matchKey(kind, tag)
+	s := t.shard(key)
+	s.mu.Lock()
+	s.unexp[key] = append(s.unexp[key], pkt)
+	s.mu.Unlock()
+}
+
+// unexpectedCount reports queued unexpected messages (for tests/stats).
+func (t *matchTable) unexpectedCount() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, l := range s.unexp {
+			n += len(l)
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func deleteAt(l []*fabric.Packet, i int) []*fabric.Packet {
+	l[i] = l[len(l)-1]
+	l[len(l)-1] = nil
+	l = l[:len(l)-1]
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+func deletePRAt(l []*postedRecv, i int) []*postedRecv {
+	// Preserve posting order for the remaining receives (wildcards care).
+	copy(l[i:], l[i+1:])
+	l[len(l)-1] = nil
+	l = l[:len(l)-1]
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// handleTable is a fixed-size slot table with a lock-free freelist, used for
+// in-flight rendezvous state on both sides.
+type handleTable[T any] struct {
+	slots []T
+	free  *ring[uint32]
+}
+
+func newHandleTable[T any](n int) *handleTable[T] {
+	t := &handleTable[T]{slots: make([]T, n), free: newRing[uint32](n)}
+	for i := 0; i < n; i++ {
+		t.free.TryPush(uint32(i))
+	}
+	return t
+}
+
+func (t *handleTable[T]) alloc() (*T, uint32, bool) {
+	idx, ok := t.free.TryPop()
+	if !ok {
+		return nil, 0, false
+	}
+	return &t.slots[idx], idx, true
+}
+
+func (t *handleTable[T]) get(idx uint32) *T { return &t.slots[idx] }
+
+func (t *handleTable[T]) release(idx uint32) {
+	var zero T
+	t.slots[idx] = zero
+	t.free.TryPush(idx)
+}
+
+// longSend is the sender-side state of an in-flight rendezvous.
+type longSend struct {
+	data []byte
+	comp Comp
+	ctx  any
+	dst  int
+	tag  uint32
+}
+
+// longRecv is the receiver-side state of an accepted rendezvous.
+type longRecv struct {
+	buf  []byte
+	comp Comp
+	ctx  any
+	src  int
+	tag  uint32
+	put  bool // one-sided long put: completes into the put CQ
+}

@@ -1,0 +1,72 @@
+package lci
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Memory registration. The paper lists explicit control of communication
+// resources — including "access to the internal registered communication
+// buffers and memory registration functions" — among LCI's features. On
+// real RDMA hardware, registration pins pages and hands the NIC an rkey; on
+// the simulated fabric it is pure accounting, but the API surface (explicit
+// register/deregister, a registration capacity, nonblocking failure) is
+// what the layers above program against.
+
+// Mbuffer is a registered memory region.
+type Mbuffer struct {
+	Data []byte
+
+	dev  *Device
+	mu   sync.Mutex
+	dead bool
+}
+
+// registry tracks a device's registered bytes against its cap.
+type registry struct {
+	mu    sync.Mutex
+	bytes int64
+	limit int64
+	count int
+}
+
+// RegisterMemory registers buf for communication. It fails with ErrRetry
+// when the registration cap (Config.MaxRegisteredBytes) is exhausted,
+// mirroring the non-blocking resource semantics of the rest of the API.
+func (d *Device) RegisterMemory(buf []byte) (*Mbuffer, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("lci: cannot register an empty buffer")
+	}
+	r := &d.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && r.bytes+int64(len(buf)) > r.limit {
+		d.stats.retries.Add(1)
+		return nil, ErrRetry
+	}
+	r.bytes += int64(len(buf))
+	r.count++
+	return &Mbuffer{Data: buf, dev: d}, nil
+}
+
+// Deregister releases the registration. Safe to call more than once.
+func (m *Mbuffer) Deregister() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead {
+		return
+	}
+	m.dead = true
+	r := &m.dev.reg
+	r.mu.Lock()
+	r.bytes -= int64(len(m.Data))
+	r.count--
+	r.mu.Unlock()
+}
+
+// RegisteredBytes reports currently registered memory (tests/metrics).
+func (d *Device) RegisteredBytes() int64 {
+	d.reg.mu.Lock()
+	defer d.reg.mu.Unlock()
+	return d.reg.bytes
+}

@@ -1,0 +1,95 @@
+package lci
+
+import "sync/atomic"
+
+// ring is a bounded multi-producer multi-consumer FIFO queue (Dmitry Vyukov's
+// sequence-numbered ring). Both TryPush and TryPop are lock-free in the sense
+// that a stalled thread can delay at most the slot it claimed; there is no
+// mutex anywhere. It backs the completion queues and the packet-pool
+// freelist, the two structures the paper credits for LCI's low-overhead
+// completion path ("polling one completion queue is preferable to polling
+// multiple requests").
+type ring[T any] struct {
+	mask uint64
+	buf  []ringSlot[T]
+	_    [56]byte // keep enq and deq on separate cache lines
+	enq  atomic.Uint64
+	_    [56]byte
+	deq  atomic.Uint64
+}
+
+type ringSlot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// newRing creates a ring with capacity rounded up to a power of two.
+func newRing[T any](capacity int) *ring[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &ring[T]{mask: uint64(n - 1), buf: make([]ringSlot[T], n)}
+	for i := range r.buf {
+		r.buf[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// TryPush enqueues v, returning false if the ring is full.
+func (r *ring[T]) TryPush(v T) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.buf[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.val = v
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			return false // full
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// TryPop dequeues the oldest element, returning false if the ring is empty.
+func (r *ring[T]) TryPop() (T, bool) {
+	var zero T
+	pos := r.deq.Load()
+	for {
+		slot := &r.buf[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				v := slot.val
+				slot.val = zero
+				slot.seq.Store(pos + r.mask + 1)
+				return v, true
+			}
+			pos = r.deq.Load()
+		case seq <= pos:
+			return zero, false // empty
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// Len returns an approximate number of queued elements.
+func (r *ring[T]) Len() int {
+	n := int64(r.enq.Load()) - int64(r.deq.Load())
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Cap returns the ring capacity.
+func (r *ring[T]) Cap() int { return len(r.buf) }

@@ -1,0 +1,83 @@
+package mpisim
+
+import (
+	"testing"
+
+	"hpxgo/internal/fabric"
+)
+
+func benchWorld(b *testing.B, cfg Config) *World {
+	b.Helper()
+	net, err := fabric.NewNetwork(fabric.Config{Nodes: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewWorld(net, cfg)
+}
+
+func BenchmarkEagerSendRecv(b *testing.B) {
+	w := benchWorld(b, Config{})
+	a, peer := w.Comm(0), w.Comm(1)
+	payload := make([]byte, 64)
+	buf := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := i%1000 + 2
+		rr, err := peer.Irecv(buf, 0, tag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Isend(payload, 1, tag); err != nil {
+			b.Fatal(err)
+		}
+		for !rr.Test() {
+		}
+	}
+}
+
+func BenchmarkRendezvous16K(b *testing.B) {
+	w := benchWorld(b, Config{})
+	a, peer := w.Comm(0), w.Comm(1)
+	payload := make([]byte, 16*1024)
+	buf := make([]byte, 16*1024)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := i%1000 + 2
+		rr, err := peer.Irecv(buf, 0, tag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sr, err := a.Isend(payload, 1, tag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for !rr.Test() {
+			sr.Test()
+		}
+	}
+}
+
+// BenchmarkTestOnPendingList measures the O(pending) polling cost the MPI
+// parcelport pays: Test of one incomplete request while many receives sit
+// posted (each Test takes the coarse lock and drives progress).
+func BenchmarkTestOnPendingList(b *testing.B) {
+	w := benchWorld(b, Config{})
+	peer := w.Comm(1)
+	for i := 0; i < 256; i++ {
+		if _, err := peer.Irecv(make([]byte, 8), 0, i+2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	r, err := peer.Irecv(make([]byte, 8), 0, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Test() {
+			b.Fatal("request unexpectedly complete")
+		}
+	}
+}

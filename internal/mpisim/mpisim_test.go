@@ -1,0 +1,409 @@
+package mpisim
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpxgo/internal/fabric"
+)
+
+func world(t *testing.T, nodes int, fcfg fabric.Config, cfg Config) *World {
+	t.Helper()
+	fcfg.Nodes = nodes
+	net, err := fabric.NewNetwork(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWorld(net, cfg)
+}
+
+func waitDone(t *testing.T, r *Request, timeout time.Duration, others ...*Comm) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.Test() {
+			return r.Status()
+		}
+		for _, c := range others {
+			c.Progress()
+		}
+	}
+	t.Fatalf("request did not complete within %v", timeout)
+	return Status{}
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	w := world(t, 2, fabric.Config{LatencyNs: 100}, Config{})
+	a, b := w.Comm(0), w.Comm(1)
+	buf := make([]byte, 64)
+	rr, err := b.Irecv(buf, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := a.Isend([]byte("eager hello"), 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Test() {
+		t.Fatal("eager send should complete immediately")
+	}
+	st := waitDone(t, rr, time.Second, a)
+	if st.Source != 0 || st.Tag != 5 || st.Count != len("eager hello") {
+		t.Fatalf("bad status %+v", st)
+	}
+	if string(buf[:st.Count]) != "eager hello" {
+		t.Fatalf("bad payload %q", buf[:st.Count])
+	}
+}
+
+func TestEagerUnexpected(t *testing.T) {
+	w := world(t, 2, fabric.Config{}, Config{})
+	a, b := w.Comm(0), w.Comm(1)
+	if _, err := a.Isend([]byte("surprise"), 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Drive b until the message sits in the unexpected queue.
+	deadline := time.Now().Add(time.Second)
+	for {
+		b.Progress()
+		if _, u := b.PendingCounts(); u == 1 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("message never became unexpected")
+		}
+	}
+	buf := make([]byte, 16)
+	rr, err := b.Irecv(buf, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Test() {
+		t.Fatal("receive should match the unexpected message synchronously")
+	}
+	if string(buf[:rr.Status().Count]) != "surprise" {
+		t.Fatalf("bad payload")
+	}
+}
+
+func TestWildcardSourceAndTag(t *testing.T) {
+	w := world(t, 3, fabric.Config{}, Config{})
+	b := w.Comm(1)
+	buf := make([]byte, 32)
+	rr, err := b.Irecv(buf, AnySource, AnyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Comm(2).Isend([]byte("from two"), 1, 17); err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, rr, time.Second)
+	if st.Source != 2 || st.Tag != 17 {
+		t.Fatalf("wildcard status %+v", st)
+	}
+}
+
+func TestRendezvousLarge(t *testing.T) {
+	w := world(t, 2, fabric.Config{LatencyNs: 100}, Config{EagerThreshold: 256})
+	a, b := w.Comm(0), w.Comm(1)
+	payload := make([]byte, 10000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	buf := make([]byte, len(payload))
+	rr, err := b.Irecv(buf, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := a.Isend(payload, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Test() {
+		t.Fatal("rendezvous send must not complete before CTS")
+	}
+	st := waitDone(t, rr, 2*time.Second, a)
+	if st.Count != len(payload) || !bytes.Equal(buf, payload) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+	waitDone(t, sr, 2*time.Second, b)
+}
+
+func TestRendezvousUnexpectedRTS(t *testing.T) {
+	w := world(t, 2, fabric.Config{}, Config{EagerThreshold: 64})
+	a, b := w.Comm(0), w.Comm(1)
+	payload := make([]byte, 500)
+	sr, err := a.Isend(payload, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		b.Progress()
+		if _, u := b.PendingCounts(); u == 1 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("RTS never queued as unexpected")
+		}
+	}
+	buf := make([]byte, 500)
+	rr, err := b.Irecv(buf, AnySource, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, rr, 2*time.Second, a, b)
+	waitDone(t, sr, 2*time.Second, a, b)
+	if rr.Status().Source != 0 {
+		t.Fatalf("bad source %d", rr.Status().Source)
+	}
+}
+
+func TestWildcardRecvRendezvousStatus(t *testing.T) {
+	// A wildcard receive matched by an RTS must report the real source/tag.
+	w := world(t, 3, fabric.Config{}, Config{EagerThreshold: 16})
+	b := w.Comm(0)
+	buf := make([]byte, 256)
+	rr, err := b.Irecv(buf, AnySource, AnyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Comm(2).Isend(make([]byte, 256), 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, rr, 2*time.Second, w.Comm(2))
+	if st.Source != 2 || st.Tag != 9 || st.Count != 256 {
+		t.Fatalf("bad rendezvous wildcard status %+v", st)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	w := world(t, 2, fabric.Config{}, Config{})
+	a := w.Comm(0)
+	if _, err := a.Isend(nil, 9, 0); err == nil {
+		t.Fatal("expected invalid rank error")
+	}
+	if _, err := a.Isend(nil, 1, -1); err == nil {
+		t.Fatal("expected invalid tag error")
+	}
+	if _, err := a.Isend(nil, 1, TagUB); err == nil {
+		t.Fatal("expected tag >= TagUB error")
+	}
+	if _, err := a.Irecv(nil, 7, 0); err == nil {
+		t.Fatal("expected invalid source error")
+	}
+	if _, err := a.Irecv(nil, AnySource, TagUB); err == nil {
+		t.Fatal("expected invalid recv tag error")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := world(t, 2, fabric.Config{}, Config{})
+	b := w.Comm(1)
+	rr, err := b.Irecv(make([]byte, 8), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Cancel() {
+		t.Fatal("cancel of unmatched receive failed")
+	}
+	if !rr.Done() {
+		t.Fatal("cancelled request should be done")
+	}
+	if rr.Cancel() {
+		t.Fatal("double cancel should fail")
+	}
+	if p, _ := b.PendingCounts(); p != 0 {
+		t.Fatal("cancelled receive still posted")
+	}
+	sr, _ := w.Comm(0).Isend([]byte("x"), 1, 1)
+	if !sr.Done() {
+		t.Fatal("eager send not done")
+	}
+	if sr.Cancel() {
+		t.Fatal("cancel of a send should fail")
+	}
+}
+
+func TestManyConcurrentMessagesDistinctTags(t *testing.T) {
+	// The access pattern that hurts MPI in the paper: many concurrent
+	// messages with arbitrary tags and wildcard-free matching, driven from
+	// several goroutines calling Test (all serializing on the coarse lock).
+	w := world(t, 2, fabric.Config{LatencyNs: 50}, Config{EagerThreshold: 512})
+	a, b := w.Comm(0), w.Comm(1)
+	const n = 300
+	recvs := make([]*Request, n)
+	for i := 0; i < n; i++ {
+		var err error
+		recvs[i], err = b.Irecv(make([]byte, 16), 0, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 3 {
+				r, err := a.Isend([]byte(fmt.Sprintf("m%04d", i)), 1, i+1)
+				if err != nil {
+					t.Errorf("Isend: %v", err)
+					return
+				}
+				for !r.Test() {
+					runtime.Gosched()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for i, r := range recvs {
+		for !r.Test() {
+			if !time.Now().Before(deadline) {
+				t.Fatalf("receive %d never completed", i)
+			}
+			runtime.Gosched()
+		}
+		if got := string(r.buf[:r.Status().Count]); got != fmt.Sprintf("m%04d", i) {
+			t.Fatalf("recv %d got %q", i, got)
+		}
+	}
+}
+
+func TestEagerRoundTripProperty(t *testing.T) {
+	w := world(t, 2, fabric.Config{}, Config{EagerThreshold: 1 << 16})
+	a, b := w.Comm(0), w.Comm(1)
+	tag := 0
+	f := func(data []byte) bool {
+		tag = (tag + 1) % TagUB
+		if tag == 0 {
+			tag = 1
+		}
+		buf := make([]byte, len(data))
+		rr, err := b.Irecv(buf, 0, tag)
+		if err != nil {
+			return false
+		}
+		if _, err := a.Isend(data, 1, tag); err != nil {
+			return false
+		}
+		deadline := time.Now().Add(time.Second)
+		for !rr.Test() {
+			if !time.Now().Before(deadline) {
+				return false
+			}
+		}
+		return rr.Status().Count == len(data) && bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackpressureDeferred(t *testing.T) {
+	// A tiny injection window forces the library to defer packets and flush
+	// them from progress, transparently to the user.
+	w := world(t, 2, fabric.Config{MaxInflight: 2, LatencyNs: 1000}, Config{})
+	a, b := w.Comm(0), w.Comm(1)
+	const n = 50
+	recvs := make([]*Request, n)
+	for i := 0; i < n; i++ {
+		recvs[i], _ = b.Irecv(make([]byte, 8), 0, i+1)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := a.Isend([]byte{byte(i)}, 1, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range recvs {
+		st := waitDone(t, r, 5*time.Second, a, b)
+		if st.Count != 1 || r.buf[0] != byte(i) {
+			t.Fatalf("recv %d corrupted", i)
+		}
+	}
+}
+
+func TestWorldAccessors(t *testing.T) {
+	w := world(t, 4, fabric.Config{}, Config{EagerThreshold: 2048})
+	if w.Size() != 4 {
+		t.Fatalf("Size = %d", w.Size())
+	}
+	c := w.Comm(2)
+	if c.Rank() != 2 || c.Size() != 4 || c.EagerThreshold() != 2048 {
+		t.Fatalf("accessors wrong: rank=%d size=%d eager=%d", c.Rank(), c.Size(), c.EagerThreshold())
+	}
+}
+
+func TestNonOvertakingOnReorderingFabric(t *testing.T) {
+	// MPI's non-overtaking rule: two messages from the same sender with the
+	// same tag must match posted receives in send order, even on a
+	// multi-rail fabric that reorders packets. A small eager message sent
+	// after a large rendezvous one would otherwise overtake it.
+	w := world(t, 2, fabric.Config{LatencyNs: 0, GbitsPerSec: 1, Rails: 4}, Config{EagerThreshold: 64})
+	a, b := w.Comm(0), w.Comm(1)
+	const tag = 5
+	big := make([]byte, 32*1024) // slow rendezvous
+	big[0] = 'B'
+	small := []byte{'S'}
+
+	buf1 := make([]byte, 64*1024)
+	buf2 := make([]byte, 64*1024)
+	r1, err := b.Irecv(buf1, 0, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Irecv(buf2, 0, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Isend(big, 1, tag); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Isend(small, 1, tag); err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitDone(t, r1, 5*time.Second, a, b)
+	st2 := waitDone(t, r2, 5*time.Second, a, b)
+	if st1.Count != len(big) || buf1[0] != 'B' {
+		t.Fatalf("first posted receive got %d bytes (lead %q), want the big message", st1.Count, buf1[0])
+	}
+	if st2.Count != 1 || buf2[0] != 'S' {
+		t.Fatalf("second posted receive got %d bytes, want the small message", st2.Count)
+	}
+}
+
+func TestInOrderManySameTag(t *testing.T) {
+	// A stream of same-tag eager messages across a reordering fabric must
+	// arrive in posted order.
+	w := world(t, 2, fabric.Config{LatencyNs: 100, Rails: 4}, Config{})
+	a, b := w.Comm(0), w.Comm(1)
+	const n = 100
+	recvs := make([]*Request, n)
+	bufs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		bufs[i] = make([]byte, 4)
+		var err error
+		recvs[i], err = b.Irecv(bufs[i], 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := a.Isend([]byte{byte(i)}, 1, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		waitDone(t, recvs[i], 5*time.Second, a, b)
+		if bufs[i][0] != byte(i) {
+			t.Fatalf("receive %d matched message %d: overtaking", i, bufs[i][0])
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package octotiger
+
+import "testing"
+
+func BenchmarkMortonEncodeDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := MortonEncode(uint32(i), uint32(i>>2), uint32(i>>4))
+		MortonDecode(m)
+	}
+}
+
+func BenchmarkBuildTreeLevel4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTree(Params{MaxLevel: 4, MinLevel: 2, RefineFraction: 0.5}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelfInteraction(b *testing.B) {
+	p := Params{SubgridSize: 8, Fields: 4}
+	p.fillDefaults()
+	st := newLeafState(p, &Leaf{Morton: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.selfInteraction(p)
+	}
+}
+
+func BenchmarkExtractBoundary(b *testing.B) {
+	p := Params{SubgridSize: 8, Fields: 4}
+	p.fillDefaults()
+	st := newLeafState(p, &Leaf{Morton: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.extractBoundary(p, i%6)
+	}
+}

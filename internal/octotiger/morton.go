@@ -1,0 +1,52 @@
+// Package octotiger is a communication-faithful proxy for Octo-Tiger, the
+// astrophysics application the paper uses as its application-level benchmark
+// (§5). Octo-Tiger simulates binary star mergers with the fast multipole
+// method on adaptive octrees; what matters for the paper's measurements is
+// its communication structure, which this proxy reproduces:
+//
+//   - an adaptive octree refined to a configurable maximum level (the knob
+//     the paper sets to 6 on Expanse and 5 on Rostam),
+//   - space-filling-curve (Morton) partitioning of leaves over localities,
+//   - per-step exchanges of small multipole messages and multi-KiB hydro
+//     boundary payloads between neighbouring leaves on different
+//     localities, driven by the task graph,
+//   - an FMM-flavoured local compute kernel between exchanges,
+//   - steps/second as the reported metric.
+package octotiger
+
+// Morton (Z-order) encoding interleaves the bits of 3-D coordinates; sorting
+// leaves by Morton code yields the space-filling curve Octo-Tiger uses to
+// partition tree nodes into processes.
+
+// mortonSpread3 spreads the low 21 bits of v so there are two zero bits
+// between consecutive bits.
+func mortonSpread3(v uint32) uint64 {
+	x := uint64(v) & 0x1FFFFF // 21 bits
+	x = (x | x<<32) & 0x1F00000000FFFF
+	x = (x | x<<16) & 0x1F0000FF0000FF
+	x = (x | x<<8) & 0x100F00F00F00F00F
+	x = (x | x<<4) & 0x10C30C30C30C30C3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// mortonCompact3 inverts mortonSpread3.
+func mortonCompact3(x uint64) uint32 {
+	x &= 0x1249249249249249
+	x = (x ^ x>>2) & 0x10C30C30C30C30C3
+	x = (x ^ x>>4) & 0x100F00F00F00F00F
+	x = (x ^ x>>8) & 0x1F0000FF0000FF
+	x = (x ^ x>>16) & 0x1F00000000FFFF
+	x = (x ^ x>>32) & 0x1FFFFF
+	return uint32(x)
+}
+
+// MortonEncode interleaves (x, y, z) (each up to 21 bits) into a 63-bit key.
+func MortonEncode(x, y, z uint32) uint64 {
+	return mortonSpread3(x) | mortonSpread3(y)<<1 | mortonSpread3(z)<<2
+}
+
+// MortonDecode recovers (x, y, z) from a Morton key.
+func MortonDecode(m uint64) (x, y, z uint32) {
+	return mortonCompact3(m), mortonCompact3(m >> 1), mortonCompact3(m >> 2)
+}

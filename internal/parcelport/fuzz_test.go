@@ -1,0 +1,36 @@
+package parcelport
+
+import (
+	"testing"
+
+	"hpxgo/internal/serialization"
+)
+
+// FuzzDecodeHeader feeds arbitrary bytes to the header decoder: it must
+// never panic, and valid headers must round-trip.
+func FuzzDecodeHeader(f *testing.F) {
+	m := &serialization.Message{
+		NonZeroCopy:  []byte("nzc-bytes"),
+		Transmission: []byte("tr"),
+		ZeroCopy:     [][]byte{make([]byte, 9000)},
+	}
+	buf := make([]byte, 512)
+	n, _, _, err := EncodeHeader(buf, 7, m, 512, true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf[:n])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		if h.PiggyNZC() && uint64(len(h.NZC)) != h.NZCSize {
+			t.Fatal("piggybacked nzc length disagrees with header field")
+		}
+		if h.Trans != nil && uint64(len(h.Trans)) != h.TransSize {
+			t.Fatal("piggybacked trans length disagrees with header field")
+		}
+	})
+}

@@ -1,0 +1,332 @@
+package lcipp
+
+import (
+	"sync"
+
+	"hpxgo/internal/lci"
+	"hpxgo/internal/parcelport"
+	"hpxgo/internal/serialization"
+)
+
+// lconn is the per-HPX-message connection of the LCI parcelport. Unlike the
+// MPI parcelport's connections it is event-driven: instead of sitting on a
+// pending list to be Test-polled, it advances when its completions pop out
+// of the completion queue (or its synchronizers trigger, in sy mode).
+//
+// A connection posts one tracked operation at a time; medium sends complete
+// locally inside the post (LCI's buffered sendm) and therefore advance
+// inline.
+type lconn struct {
+	pp   *Parcelport
+	dev  *lci.Device // the replicated device this connection stripes to
+	peer int
+	recv bool // receiver side?
+
+	mu      sync.Mutex
+	done    bool
+	waiting bool // a tracked operation is outstanding
+
+	baseTag uint32
+	tagIdx  int // follow-up messages consumed so far (receiver)
+
+	// Sender state.
+	msg          *serialization.Message
+	segs         [][]byte
+	segIdx       int
+	headerPosted bool
+
+	// Receiver state.
+	h      parcelport.Header
+	trans  []byte
+	nzc    []byte
+	zcBufs [][]byte
+	stage  int
+}
+
+// Receiver stages.
+const (
+	stageTrans = iota
+	stageNZC
+	stageZC // stageZC+k receives zero-copy chunk k
+)
+
+// --- sender ---
+
+// newSenderConn plans the chain of LCI messages for one HPX message and
+// reserves a block of distinct tags for the follow-ups.
+func newSenderConn(pp *Parcelport, dst int, m *serialization.Message) *lconn {
+	c := &lconn{pp: pp, peer: dst, msg: m}
+	max := pp.MaxHeaderSize()
+	_, piggyNZC, piggyTrans := parcelport.PlanHeader(len(m.NonZeroCopy), len(m.Transmission), max, true)
+	if len(m.Transmission) > 0 && !piggyTrans {
+		c.segs = append(c.segs, m.Transmission)
+	}
+	if !piggyNZC {
+		c.segs = append(c.segs, m.NonZeroCopy)
+	}
+	c.segs = append(c.segs, m.ZeroCopy...)
+	n := len(c.segs)
+	if n == 0 {
+		n = 1
+	}
+	c.baseTag = pp.tags.Block(n)
+	c.dev, _ = pp.devFor(c.baseTag)
+	return c
+}
+
+// start sends the header and advances as far as possible.
+func (c *lconn) start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return
+	}
+	if c.recv {
+		c.advanceReceiverLocked()
+		return
+	}
+	if !c.postHeaderLocked() {
+		return // backpressured; retry list re-drives us
+	}
+	c.advanceSenderLocked()
+}
+
+// drive re-enters the state machine after a backpressure retry.
+func (c *lconn) drive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return false
+	}
+	if c.recv {
+		c.advanceReceiverLocked()
+		return true
+	}
+	if !c.headerPosted {
+		if !c.postHeaderLocked() {
+			return false
+		}
+	}
+	c.advanceSenderLocked()
+	return true
+}
+
+// onComplete handles a completion record routed to this connection.
+func (c *lconn) onComplete(req lci.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return
+	}
+	c.waiting = false
+	if c.recv {
+		c.absorbRecvLocked()
+		c.advanceReceiverLocked()
+	} else {
+		c.advanceSenderLocked()
+	}
+}
+
+// postHeaderLocked sends the header message: a dynamic put assembled in an
+// LCI packet (psr) or a medium send on the header tag (sr). Returns false
+// and queues a retry on backpressure.
+func (c *lconn) postHeaderLocked() bool {
+	pp := c.pp
+	max := pp.MaxHeaderSize()
+	switch pp.cfg.Protocol {
+	case parcelport.PutSendRecv:
+		pkt, err := c.dev.GetPacket()
+		if err != nil {
+			pp.addRetry(c)
+			return false
+		}
+		n, _, _, encErr := parcelport.EncodeHeader(pkt.Data, c.baseTag, c.msg, max, true)
+		if encErr != nil {
+			c.dev.PutPacket(pkt)
+			c.done = true
+			return false
+		}
+		if err := c.dev.PutdPacket(c.peer, 0, pkt, n); err != nil {
+			c.dev.PutPacket(pkt)
+			if isRetry(err) {
+				pp.addRetry(c)
+				return false
+			}
+			c.done = true
+			return false
+		}
+	case parcelport.SendRecv:
+		need, _, _ := parcelport.PlanHeader(len(c.msg.NonZeroCopy), len(c.msg.Transmission), max, true)
+		buf := make([]byte, need)
+		n, _, _, encErr := parcelport.EncodeHeader(buf, c.baseTag, c.msg, max, true)
+		if encErr != nil {
+			c.done = true
+			return false
+		}
+		// Medium sends are buffered: locally complete on return, no tracked
+		// completion needed.
+		if err := c.dev.Sendm(c.peer, headerMsgTag, buf[:n], nil, nil); err != nil {
+			if isRetry(err) {
+				pp.addRetry(c)
+				return false
+			}
+			c.done = true
+			return false
+		}
+	}
+	c.headerPosted = true
+	return true
+}
+
+// advanceSenderLocked posts follow-up chunks until it must wait (long send
+// outstanding), hits backpressure, or finishes.
+func (c *lconn) advanceSenderLocked() {
+	pp := c.pp
+	eager := c.dev.EagerThreshold()
+	for c.segIdx < len(c.segs) && !c.waiting {
+		seg := c.segs[c.segIdx]
+		tag := pp.tags.Nth(c.baseTag, c.segIdx)
+		if len(seg) <= eager {
+			err := c.dev.Sendm(c.peer, tag, seg, nil, nil)
+			if err != nil {
+				if isRetry(err) {
+					pp.addRetry(c)
+					return
+				}
+				c.done = true
+				return
+			}
+			c.segIdx++
+			continue
+		}
+		comp, reg := pp.newComp()
+		err := c.dev.Sendl(c.peer, tag, seg, comp, c)
+		if err != nil {
+			if isRetry(err) {
+				pp.addRetry(c)
+				return
+			}
+			c.done = true
+			return
+		}
+		if reg != nil {
+			pp.addSync(reg)
+		}
+		c.waiting = true
+		c.segIdx++
+	}
+	if c.segIdx >= len(c.segs) && !c.waiting {
+		c.done = true
+		pp.stats.sent.Add(1)
+		c.msg.Done()
+	}
+}
+
+// --- receiver ---
+
+// newReceiverConn is created on header arrival; h's piggybacked chunks must
+// not alias a reusable buffer (the caller copies when needed). devIdx is the
+// device the header arrived on; follow-ups use the same device.
+func newReceiverConn(pp *Parcelport, devIdx, src int, h parcelport.Header) *lconn {
+	c := &lconn{pp: pp, dev: pp.devs[devIdx], peer: src, recv: true, h: h, baseTag: h.BaseTag}
+	c.trans = h.Trans
+	c.nzc = h.NZC
+	if h.TransSize == 0 || c.trans != nil {
+		c.planZC()
+		if c.nzc != nil {
+			c.stage = stageZC
+		} else {
+			c.stage = stageNZC
+		}
+	} else {
+		c.stage = stageTrans
+	}
+	return c
+}
+
+// planZC sizes the zero-copy receive buffers from the transmission chunk.
+func (c *lconn) planZC() {
+	if c.h.NumZC == 0 {
+		return
+	}
+	sizes, err := serialization.ParseTransmissionSizes(c.trans)
+	if err != nil || len(sizes) != int(c.h.NumZC) {
+		c.done = true
+		return
+	}
+	c.zcBufs = make([][]byte, len(sizes))
+	for i, sz := range sizes {
+		c.zcBufs[i] = make([]byte, sz)
+	}
+}
+
+// absorbRecvLocked accounts for the completion of the receive posted last.
+func (c *lconn) absorbRecvLocked() {
+	switch {
+	case c.stage == stageTrans:
+		c.planZC()
+		if c.done {
+			return
+		}
+		if c.nzc != nil {
+			c.stage = stageZC
+		} else {
+			c.stage = stageNZC
+		}
+	case c.stage == stageNZC:
+		c.stage = stageZC
+	default:
+		c.stage++
+	}
+}
+
+// advanceReceiverLocked posts the receive for the current stage or delivers
+// the completed message.
+func (c *lconn) advanceReceiverLocked() {
+	if c.waiting || c.done {
+		return
+	}
+	pp := c.pp
+	switch {
+	case c.stage == stageTrans:
+		c.trans = make([]byte, c.h.TransSize)
+		c.postRecvLocked(c.trans)
+	case c.stage == stageNZC:
+		c.nzc = make([]byte, c.h.NZCSize)
+		c.postRecvLocked(c.nzc)
+	case c.stage-stageZC < len(c.zcBufs):
+		c.postRecvLocked(c.zcBufs[c.stage-stageZC])
+	default:
+		m := &serialization.Message{NonZeroCopy: c.nzc, Transmission: c.trans, ZeroCopy: c.zcBufs}
+		c.done = true
+		pp.stats.recvd.Add(1)
+		pp.deliver(m)
+	}
+}
+
+// postRecvLocked posts one follow-up receive on the next block tag, choosing
+// medium or long by the expected size (mirroring the sender's choice).
+func (c *lconn) postRecvLocked(buf []byte) {
+	pp := c.pp
+	tag := pp.tags.Nth(c.baseTag, c.tagIdx)
+	comp, reg := pp.newComp()
+	var err error
+	if len(buf) <= c.dev.EagerThreshold() {
+		err = c.dev.Recvm(c.peer, tag, buf, comp, c)
+	} else {
+		// Recvl's ErrRetry means "posted, under handle pressure": the
+		// receive is re-queued internally and will still complete.
+		if err = c.dev.Recvl(c.peer, tag, buf, comp, c); isRetry(err) {
+			err = nil
+		}
+	}
+	if err != nil {
+		c.done = true
+		return
+	}
+	if reg != nil {
+		pp.addSync(reg)
+	}
+	c.tagIdx++
+	c.waiting = true
+}

@@ -1,0 +1,76 @@
+// Package parcelport defines the HPX parcelport abstraction: the layer that
+// transfers serialized HPX messages between localities. It hosts what both
+// concrete parcelports (internal/parcelport/mpipp and
+// internal/parcelport/lcipp) share — the interface, the Table 1
+// configuration grammar, the header-message codec with piggybacking, and the
+// atomic tag allocator described in §3 of the paper.
+package parcelport
+
+import (
+	"sync/atomic"
+
+	"hpxgo/internal/serialization"
+)
+
+// DeliverFunc receives a fully reassembled HPX message at the target
+// locality. The upper layer decodes it into parcels and spawns their action
+// tasks.
+type DeliverFunc func(m *serialization.Message)
+
+// Parcelport transfers serialized HPX messages. Implementations must be safe
+// for concurrent use: in HPX every worker thread may initiate sends and call
+// BackgroundWork when idle.
+type Parcelport interface {
+	// Name returns the Table 1 configuration string (e.g. "lci_psr_cq_pin_i").
+	Name() string
+	// Start installs the delivery callback and launches any dedicated
+	// threads. Must be called before Send.
+	Start(deliver DeliverFunc) error
+	// Stop shuts the parcelport down and joins its threads.
+	Stop()
+	// Send transfers an HPX message to the destination locality. It never
+	// blocks on the network; transfers progress via BackgroundWork (and the
+	// progress thread, if any). m.Done is called when the transfer completes
+	// locally.
+	Send(dst int, m *serialization.Message)
+	// BackgroundWork performs one bounded slice of network progress on
+	// behalf of an idle worker thread. Returns true if any work was done.
+	BackgroundWork(workerID int) bool
+}
+
+// MaxPendingConnections is HPX's default cap on simultaneously pending
+// connections (per destination), 8192 in the paper.
+const MaxPendingConnections = 8192
+
+// TagAllocator hands out message tags from a shared atomic counter, wrapping
+// below an upper bound. As in the paper (§3.1 "Tag management"), wraparound
+// safety relies on a connection with the same tag having completed before
+// the value is reused; both parcelports share this assumption.
+type TagAllocator struct {
+	next  atomic.Uint64
+	bound uint64 // tags are in [1, bound); 0 is reserved for header messages
+}
+
+// NewTagAllocator creates an allocator with tags in [1, bound).
+func NewTagAllocator(bound uint32) *TagAllocator {
+	if bound < 2 {
+		bound = 2
+	}
+	return &TagAllocator{bound: uint64(bound)}
+}
+
+// Next returns one fresh tag.
+func (a *TagAllocator) Next() uint32 { return a.Block(1) }
+
+// Block reserves n consecutive tags (modulo wraparound) and returns the
+// first. Tag k of the block is Nth(first, k).
+func (a *TagAllocator) Block(n int) uint32 {
+	start := a.next.Add(uint64(n)) - uint64(n)
+	return uint32(start%(a.bound-1)) + 1
+}
+
+// Nth returns the k-th tag of a block starting at first, applying the same
+// wraparound rule as Block.
+func (a *TagAllocator) Nth(first uint32, k int) uint32 {
+	return uint32((uint64(first-1)+uint64(k))%(a.bound-1)) + 1
+}

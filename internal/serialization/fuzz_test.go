@@ -1,0 +1,59 @@
+package serialization
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the message decoder: it must never
+// panic, and on valid re-encoded inputs it must round-trip.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings.
+	small := Encode([]*Parcel{{Source: 1, Dest: 2, Action: 3, Args: [][]byte{[]byte("seed")}}}, 0)
+	f.Add(small.NonZeroCopy)
+	big := Encode([]*Parcel{{Args: [][]byte{make([]byte, DefaultZeroCopyThreshold)}}}, 0)
+	f.Add(big.NonZeroCopy)
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x58, 0x50, 0x48}) // magic only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := &Message{NonZeroCopy: data}
+		ps, err := Decode(m)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to the same parcels.
+		m2 := Encode(ps, 0)
+		ps2, err := Decode(m2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(ps2) != len(ps) {
+			t.Fatalf("parcel count changed: %d -> %d", len(ps), len(ps2))
+		}
+		for i := range ps {
+			if ps[i].Action != ps2[i].Action || len(ps[i].Args) != len(ps2[i].Args) {
+				t.Fatal("parcel changed across round trip")
+			}
+			for j := range ps[i].Args {
+				if !bytes.Equal(ps[i].Args[j], ps2[i].Args[j]) {
+					t.Fatal("arg changed across round trip")
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseTransmissionSizes must never panic on arbitrary input.
+func FuzzParseTransmissionSizes(f *testing.F) {
+	valid := Encode([]*Parcel{{Args: [][]byte{make([]byte, 9000), make([]byte, 10000)}}}, 0)
+	f.Add(valid.Transmission)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sizes, err := ParseTransmissionSizes(data)
+		if err == nil {
+			for _, s := range sizes {
+				_ = s
+			}
+		}
+	})
+}

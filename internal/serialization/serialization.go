@@ -1,0 +1,313 @@
+// Package serialization implements the HPX message model described in §2.2
+// of the paper. A set of parcels bound for the same destination locality is
+// serialized into an "HPX message" consisting of:
+//
+//   - one non-zero-copy chunk holding parcel metadata and all small
+//     arguments,
+//   - zero or more zero-copy chunks, one per large argument (an argument is
+//     large when it reaches the zero-copy serialization threshold; such
+//     arguments are referenced, not copied),
+//   - a transmission chunk recording the index and length of the zero-copy
+//     arguments, present only when there is at least one zero-copy chunk.
+//
+// The parcelport layer transfers these chunks; it never inspects parcel
+// contents.
+package serialization
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultZeroCopyThreshold is HPX's default zero-copy serialization
+// threshold (bytes); the paper keeps it at 8192 for all experiments.
+const DefaultZeroCopyThreshold = 8192
+
+// Parcel is the unit of work the HPX upper layer exchanges: the arguments of
+// one action invocation plus routing metadata.
+type Parcel struct {
+	Source int    // source locality
+	Dest   int    // destination locality
+	Action uint32 // registered action id
+	ContID uint64 // continuation id (0 = fire-and-forget)
+	Args   [][]byte
+}
+
+// Message is a serialized HPX message as passed to the parcelport layer.
+type Message struct {
+	NonZeroCopy  []byte
+	Transmission []byte   // nil when there are no zero-copy chunks
+	ZeroCopy     [][]byte // large arguments, referenced without copying
+
+	// OnSent, when non-nil, is invoked by the parcelport once the message is
+	// fully transferred and its buffers may be reused (the upper layer uses
+	// it to return connections to the connection cache).
+	OnSent func()
+}
+
+// Done invokes OnSent exactly once (nil-safe).
+func (m *Message) Done() {
+	if m.OnSent != nil {
+		f := m.OnSent
+		m.OnSent = nil
+		f()
+	}
+}
+
+// TotalBytes returns the message payload size across all chunks.
+func (m *Message) TotalBytes() int {
+	n := len(m.NonZeroCopy) + len(m.Transmission)
+	for _, zc := range m.ZeroCopy {
+		n += len(zc)
+	}
+	return n
+}
+
+const (
+	argInline   byte = 0
+	argZeroCopy byte = 1
+
+	messageMagic uint32 = 0x48505831 // "HPX1"
+)
+
+// Encode serializes parcels into a Message. Arguments of at least
+// zcThreshold bytes become zero-copy chunks (their backing slices are
+// aliased, not copied). zcThreshold <= 0 selects the default.
+func Encode(parcels []*Parcel, zcThreshold int) *Message {
+	if zcThreshold <= 0 {
+		zcThreshold = DefaultZeroCopyThreshold
+	}
+	m := &Message{}
+	var nzc buffer
+	nzc.u32(messageMagic)
+	nzc.u32(uint32(len(parcels)))
+	type zcRef struct {
+		length uint64
+	}
+	var zcs []zcRef
+	for _, p := range parcels {
+		nzc.u32(p.Action)
+		nzc.u32(uint32(int32(p.Source)))
+		nzc.u32(uint32(int32(p.Dest)))
+		nzc.u64(p.ContID)
+		nzc.u32(uint32(len(p.Args)))
+		for _, a := range p.Args {
+			if len(a) >= zcThreshold {
+				nzc.b(argZeroCopy)
+				nzc.u32(uint32(len(m.ZeroCopy)))
+				m.ZeroCopy = append(m.ZeroCopy, a)
+				zcs = append(zcs, zcRef{length: uint64(len(a))})
+			} else {
+				nzc.b(argInline)
+				nzc.u32(uint32(len(a)))
+				nzc.raw(a)
+			}
+		}
+	}
+	m.NonZeroCopy = nzc.bytes
+	if len(zcs) > 0 {
+		var tc buffer
+		tc.u32(uint32(len(zcs)))
+		for i, z := range zcs {
+			tc.u32(uint32(i))
+			tc.u64(z.length)
+		}
+		m.Transmission = tc.bytes
+	}
+	return m
+}
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic  = errors.New("serialization: bad message magic")
+	ErrTruncated = errors.New("serialization: truncated message")
+	ErrChunk     = errors.New("serialization: zero-copy chunk mismatch")
+)
+
+// Decode reconstructs the parcels of a message. Zero-copy arguments alias
+// m.ZeroCopy chunks. It validates chunk counts and lengths against the
+// transmission chunk.
+func Decode(m *Message) ([]*Parcel, error) {
+	r := reader{bytes: m.NonZeroCopy}
+	magic, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != messageMagic {
+		return nil, ErrBadMagic
+	}
+	// Validate the transmission chunk when zero-copy chunks exist.
+	if len(m.ZeroCopy) > 0 {
+		tr := reader{bytes: m.Transmission}
+		n, err := tr.u32()
+		if err != nil {
+			return nil, fmt.Errorf("%w (transmission chunk)", err)
+		}
+		if int(n) != len(m.ZeroCopy) {
+			return nil, fmt.Errorf("%w: transmission chunk lists %d chunks, message has %d", ErrChunk, n, len(m.ZeroCopy))
+		}
+		for i := 0; i < int(n); i++ {
+			idx, err := tr.u32()
+			if err != nil {
+				return nil, err
+			}
+			length, err := tr.u64()
+			if err != nil {
+				return nil, err
+			}
+			if int(idx) >= len(m.ZeroCopy) || uint64(len(m.ZeroCopy[idx])) != length {
+				return nil, fmt.Errorf("%w: chunk %d length mismatch", ErrChunk, idx)
+			}
+		}
+	}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Plausibility: each parcel needs at least its fixed metadata, so a
+	// count implying more bytes than remain is corrupt. This also stops
+	// attacker-controlled counts from driving huge allocations.
+	const parcelFixedBytes = 4 + 4 + 4 + 8 + 4
+	if int64(count)*parcelFixedBytes > int64(r.remaining()) {
+		return nil, fmt.Errorf("%w: %d parcels in %d bytes", ErrTruncated, count, r.remaining())
+	}
+	parcels := make([]*Parcel, 0, count)
+	for pi := uint32(0); pi < count; pi++ {
+		p := &Parcel{}
+		if p.Action, err = r.u32(); err != nil {
+			return nil, err
+		}
+		var v uint32
+		if v, err = r.u32(); err != nil {
+			return nil, err
+		}
+		p.Source = int(int32(v))
+		if v, err = r.u32(); err != nil {
+			return nil, err
+		}
+		p.Dest = int(int32(v))
+		if p.ContID, err = r.u64(); err != nil {
+			return nil, err
+		}
+		var nargs uint32
+		if nargs, err = r.u32(); err != nil {
+			return nil, err
+		}
+		// Each argument costs at least its kind byte plus a length/index.
+		if int64(nargs)*5 > int64(r.remaining()) {
+			return nil, fmt.Errorf("%w: %d args in %d bytes", ErrTruncated, nargs, r.remaining())
+		}
+		p.Args = make([][]byte, nargs)
+		for ai := uint32(0); ai < nargs; ai++ {
+			kind, err := r.b()
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case argInline:
+				n, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				p.Args[ai], err = r.take(int(n))
+				if err != nil {
+					return nil, err
+				}
+			case argZeroCopy:
+				idx, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				if int(idx) >= len(m.ZeroCopy) {
+					return nil, fmt.Errorf("%w: reference to chunk %d of %d", ErrChunk, idx, len(m.ZeroCopy))
+				}
+				p.Args[ai] = m.ZeroCopy[idx]
+			default:
+				return nil, fmt.Errorf("serialization: unknown argument kind %d", kind)
+			}
+		}
+		parcels = append(parcels, p)
+	}
+	return parcels, nil
+}
+
+// ParseTransmissionSizes extracts the zero-copy chunk lengths from a
+// transmission chunk. The parcelport layer uses it to size and post the
+// receives for the follow-up zero-copy messages before their payloads
+// arrive.
+func ParseTransmissionSizes(tc []byte) ([]uint64, error) {
+	r := reader{bytes: tc}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry occupies 12 bytes; reject implausible counts.
+	if int64(n)*12 > int64(r.remaining()) {
+		return nil, fmt.Errorf("%w: %d chunk entries in %d bytes", ErrTruncated, n, r.remaining())
+	}
+	sizes := make([]uint64, n)
+	for i := uint32(0); i < n; i++ {
+		idx, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if idx >= n {
+			return nil, fmt.Errorf("%w: chunk index %d out of range %d", ErrChunk, idx, n)
+		}
+		if sizes[idx], err = r.u64(); err != nil {
+			return nil, err
+		}
+	}
+	return sizes, nil
+}
+
+// --- little-endian encode/decode helpers ---
+
+type buffer struct{ bytes []byte }
+
+func (b *buffer) b(v byte)     { b.bytes = append(b.bytes, v) }
+func (b *buffer) raw(v []byte) { b.bytes = append(b.bytes, v...) }
+func (b *buffer) u32(v uint32) { b.bytes = binary.LittleEndian.AppendUint32(b.bytes, v) }
+func (b *buffer) u64(v uint64) { b.bytes = binary.LittleEndian.AppendUint64(b.bytes, v) }
+
+type reader struct {
+	bytes []byte
+	off   int
+}
+
+// remaining reports unread bytes.
+func (r *reader) remaining() int { return len(r.bytes) - r.off }
+
+func (r *reader) take(n int) ([]byte, error) {
+	if r.off+n > len(r.bytes) {
+		return nil, ErrTruncated
+	}
+	v := r.bytes[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) b() (byte, error) {
+	v, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	v, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(v), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	v, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(v), nil
+}

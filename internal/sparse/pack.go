@@ -1,0 +1,21 @@
+package sparse
+
+import "encoding/binary"
+
+// packI32 serializes int32 indices little-endian.
+func packI32(vs []int32) []byte {
+	out := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// unpackI32 parses a packI32 payload.
+func unpackI32(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

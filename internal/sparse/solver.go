@@ -1,0 +1,278 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"hpxgo/internal/amt"
+	"hpxgo/internal/core"
+	"hpxgo/internal/wire"
+)
+
+// Params configures a distributed CG solve.
+type Params struct {
+	Grid    Grid
+	MaxIter int     // default 200
+	Tol     float64 // relative residual target, default 1e-8
+}
+
+func (p *Params) fillDefaults() {
+	if p.MaxIter <= 0 {
+		p.MaxIter = 200
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-8
+	}
+}
+
+// partState is one locality's share of the solve.
+type partState struct {
+	mat *CSR
+	lo  int
+
+	x, r, p, ap []float64
+	b           []float64
+
+	// Halo plan: for each peer locality, the global indices of p this
+	// locality needs, and the ghost value table filled each iteration.
+	need  map[int][]int32
+	ghost map[int32]float64
+}
+
+// Solver runs distributed CG on a core runtime. Create before rt.Start.
+type Solver struct {
+	rt    *core.Runtime
+	par   Params
+	parts []*partState
+
+	aFetch uint32
+}
+
+// solveTimeout bounds collective phases.
+const solveTimeout = 5 * time.Minute
+
+// New builds the row-partitioned matrix blocks and registers the solver's
+// actions. Must be called before rt.Start.
+func New(rt *core.Runtime, par Params) (*Solver, error) {
+	par.fillDefaults()
+	if par.Grid.N() == 0 {
+		return nil, fmt.Errorf("sparse: empty grid")
+	}
+	s := &Solver{rt: rt, par: par}
+	n := rt.Localities()
+	s.parts = make([]*partState, n)
+	for loc := 0; loc < n; loc++ {
+		lo, hi := RowRange(par.Grid.N(), loc, n)
+		mat, err := BuildPoisson(par.Grid, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		st := &partState{mat: mat, lo: lo}
+		rows := mat.Rows()
+		st.x = make([]float64, rows)
+		st.r = make([]float64, rows)
+		st.p = make([]float64, rows)
+		st.ap = make([]float64, rows)
+		st.b = make([]float64, rows)
+		st.ghost = make(map[int32]float64)
+		st.need = make(map[int][]int32)
+		s.parts[loc] = st
+	}
+	// Build the static halo plan: owner of each remote column.
+	for _, st := range s.parts {
+		for _, c := range st.mat.RemoteCols() {
+			owner := ownerOf(int(c), par.Grid.N(), n)
+			st.need[owner] = append(st.need[owner], c)
+		}
+	}
+
+	// sp_fetch returns the requested entries of this locality's CURRENT p
+	// vector: args[0] = packed int32 global indices.
+	s.aFetch = rt.MustRegisterAction("sp_fetch", func(loc *core.Locality, args [][]byte) [][]byte {
+		st := s.parts[loc.ID()]
+		idxs := unpackI32(args[0])
+		out := make([]byte, 8*len(idxs))
+		for i, c := range idxs {
+			binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(st.p[int(c)-st.lo]))
+		}
+		return [][]byte{out}
+	})
+
+	// sp_dot computes a local dot product selected by args[0][0]:
+	// 0 = r.r, 1 = p.Ap.
+	rt.MustRegisterAction("sp_dot", func(loc *core.Locality, args [][]byte) [][]byte {
+		st := s.parts[loc.ID()]
+		var acc float64
+		switch args[0][0] {
+		case 0:
+			for i, v := range st.r {
+				acc += v * st.r[i]
+			}
+		default:
+			for i, v := range st.p {
+				acc += v * st.ap[i]
+			}
+		}
+		return [][]byte{wire.F64(acc)}
+	})
+
+	// sp_update1: x += alpha p; r -= alpha Ap (alpha in args[0]).
+	rt.MustRegisterAction("sp_update1", func(loc *core.Locality, args [][]byte) [][]byte {
+		st := s.parts[loc.ID()]
+		alpha := math.Float64frombits(binary.LittleEndian.Uint64(args[0]))
+		for i := range st.x {
+			st.x[i] += alpha * st.p[i]
+			st.r[i] -= alpha * st.ap[i]
+		}
+		return nil
+	})
+
+	// sp_update2: p = r + beta p (beta in args[0]).
+	rt.MustRegisterAction("sp_update2", func(loc *core.Locality, args [][]byte) [][]byte {
+		st := s.parts[loc.ID()]
+		beta := math.Float64frombits(binary.LittleEndian.Uint64(args[0]))
+		for i := range st.p {
+			st.p[i] = st.r[i] + beta*st.p[i]
+		}
+		return nil
+	})
+
+	// sp_spmv: halo-exchange p, then Ap = A p.
+	rt.MustRegisterAction("sp_spmv", func(loc *core.Locality, args [][]byte) [][]byte {
+		st := s.parts[loc.ID()]
+		// Pull each peer's boundary values of p (the irregular small/medium
+		// message phase).
+		type pending struct {
+			idxs []int32
+			fut  *amt.Future[[][]byte]
+		}
+		var pend []pending
+		for owner, idxs := range st.need {
+			if len(idxs) == 0 {
+				continue
+			}
+			fut := loc.CallID(owner, s.aFetch, [][]byte{packI32(idxs)})
+			pend = append(pend, pending{idxs: idxs, fut: fut})
+		}
+		for _, pe := range pend {
+			res, err := pe.fut.GetTimeout(solveTimeout)
+			if err != nil || len(res) != 1 {
+				return [][]byte{[]byte("halo error")}
+			}
+			for i, c := range pe.idxs {
+				st.ghost[c] = math.Float64frombits(binary.LittleEndian.Uint64(res[0][8*i:]))
+			}
+		}
+		st.mat.SpMV(st.ap, func(col int32) float64 {
+			if idx := int(col) - st.lo; idx >= 0 && idx < len(st.p) {
+				return st.p[idx]
+			}
+			return st.ghost[col]
+		})
+		return nil
+	})
+	return s, nil
+}
+
+// ownerOf maps a global row to its owning locality.
+func ownerOf(row, N, n int) int {
+	// Inverse of RowRange's proportional split.
+	loc := row * n / N
+	for {
+		lo, hi := RowRange(N, loc, n)
+		if row < lo {
+			loc--
+		} else if row >= hi {
+			loc++
+		} else {
+			return loc
+		}
+	}
+}
+
+// SetRHS installs the right-hand side b (global vector, length N) and
+// resets the solver state.
+func (s *Solver) SetRHS(b []float64) error {
+	if len(b) != s.par.Grid.N() {
+		return fmt.Errorf("sparse: rhs length %d != N %d", len(b), s.par.Grid.N())
+	}
+	for _, st := range s.parts {
+		copy(st.b, b[st.lo:st.lo+st.mat.Rows()])
+		for i := range st.x {
+			st.x[i] = 0
+			st.r[i] = st.b[i]
+			st.p[i] = st.r[i]
+			st.ap[i] = 0
+		}
+	}
+	return nil
+}
+
+// Solution copies the assembled global solution vector.
+func (s *Solver) Solution() []float64 {
+	out := make([]float64, s.par.Grid.N())
+	for _, st := range s.parts {
+		copy(out[st.lo:], st.x)
+	}
+	return out
+}
+
+// Result summarizes a solve.
+type Result struct {
+	Iterations int
+	RelRes     float64
+	Converged  bool
+}
+
+// Solve runs CG until convergence or MaxIter. The runtime must be started.
+func (s *Solver) Solve() (Result, error) {
+	dot := func(which byte) (float64, error) {
+		res, err := s.rt.Reduce(0, solveTimeout, "sp_dot", wire.SumF64Fold, []byte{which})
+		if err != nil {
+			return 0, err
+		}
+		return wire.ToF64(res[0])
+	}
+	f64 := wire.F64
+
+	rs, err := dot(0)
+	if err != nil {
+		return Result{}, err
+	}
+	norm0 := math.Sqrt(rs)
+	if norm0 == 0 {
+		return Result{Converged: true}, nil
+	}
+	for it := 1; it <= s.par.MaxIter; it++ {
+		if err := s.rt.Broadcast(0, solveTimeout, "sp_spmv"); err != nil {
+			return Result{}, fmt.Errorf("sparse: spmv at iter %d: %w", it, err)
+		}
+		pap, err := dot(1)
+		if err != nil {
+			return Result{}, err
+		}
+		if pap == 0 {
+			return Result{Iterations: it, RelRes: math.Sqrt(rs) / norm0}, fmt.Errorf("sparse: breakdown (pAp = 0)")
+		}
+		alpha := rs / pap
+		if err := s.rt.Broadcast(0, solveTimeout, "sp_update1", f64(alpha)); err != nil {
+			return Result{}, err
+		}
+		rsNew, err := dot(0)
+		if err != nil {
+			return Result{}, err
+		}
+		rel := math.Sqrt(rsNew) / norm0
+		if rel < s.par.Tol {
+			return Result{Iterations: it, RelRes: rel, Converged: true}, nil
+		}
+		beta := rsNew / rs
+		rs = rsNew
+		if err := s.rt.Broadcast(0, solveTimeout, "sp_update2", f64(beta)); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Iterations: s.par.MaxIter, RelRes: math.Sqrt(rs) / norm0}, nil
+}

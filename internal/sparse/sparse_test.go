@@ -1,0 +1,251 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hpxgo/internal/core"
+)
+
+func TestBuildPoissonStructure(t *testing.T) {
+	g := Grid{NX: 3, NY: 3, NZ: 3}
+	m, err := BuildPoisson(g, 0, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 27 {
+		t.Fatalf("rows = %d", m.Rows())
+	}
+	// Interior row (1,1,1) has 7 entries; corner (0,0,0) has 4.
+	center := g.index(1, 1, 1)
+	if got := m.RowPtr[center+1] - m.RowPtr[center]; got != 7 {
+		t.Fatalf("interior row has %d entries, want 7", got)
+	}
+	if got := m.RowPtr[1] - m.RowPtr[0]; got != 4 {
+		t.Fatalf("corner row has %d entries, want 4", got)
+	}
+	// Diagonal is 6, off-diagonals are -1, columns sorted per row.
+	for r := 0; r < m.Rows(); r++ {
+		prev := int32(-1)
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if m.ColIdx[k] <= prev {
+				t.Fatalf("row %d columns not strictly sorted", r)
+			}
+			prev = m.ColIdx[k]
+			if int(m.ColIdx[k]) == r {
+				if m.Values[k] != 6 {
+					t.Fatalf("diag of row %d = %g", r, m.Values[k])
+				}
+			} else if m.Values[k] != -1 {
+				t.Fatalf("offdiag of row %d = %g", r, m.Values[k])
+			}
+		}
+	}
+}
+
+func TestBuildPoissonValidation(t *testing.T) {
+	g := Grid{NX: 2, NY: 2, NZ: 2}
+	if _, err := BuildPoisson(g, -1, 4); err == nil {
+		t.Fatal("negative lo should fail")
+	}
+	if _, err := BuildPoisson(g, 0, 99); err == nil {
+		t.Fatal("hi > N should fail")
+	}
+}
+
+// denseSpMV is the reference y = A x via stencil arithmetic.
+func denseSpMV(g Grid, x []float64) []float64 {
+	y := make([]float64, g.N())
+	for zz := 0; zz < g.NZ; zz++ {
+		for yy := 0; yy < g.NY; yy++ {
+			for xx := 0; xx < g.NX; xx++ {
+				i := g.index(xx, yy, zz)
+				acc := 6 * x[i]
+				if xx > 0 {
+					acc -= x[g.index(xx-1, yy, zz)]
+				}
+				if xx < g.NX-1 {
+					acc -= x[g.index(xx+1, yy, zz)]
+				}
+				if yy > 0 {
+					acc -= x[g.index(xx, yy-1, zz)]
+				}
+				if yy < g.NY-1 {
+					acc -= x[g.index(xx, yy+1, zz)]
+				}
+				if zz > 0 {
+					acc -= x[g.index(xx, yy, zz-1)]
+				}
+				if zz < g.NZ-1 {
+					acc -= x[g.index(xx, yy, zz+1)]
+				}
+				y[i] = acc
+			}
+		}
+	}
+	return y
+}
+
+func TestSpMVMatchesReference(t *testing.T) {
+	g := Grid{NX: 4, NY: 3, NZ: 5}
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, g.N())
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	want := denseSpMV(g, x)
+	// Partitioned into 3 blocks, each using the global x as lookup.
+	for _, split := range [][2]int{{0, 20}, {20, 40}, {40, 60}} {
+		m, err := BuildPoisson(g, split[0], split[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := make([]float64, m.Rows())
+		m.SpMV(y, func(c int32) float64 { return x[c] })
+		for r := range y {
+			if math.Abs(y[r]-want[split[0]+r]) > 1e-12 {
+				t.Fatalf("row %d: %g != %g", split[0]+r, y[r], want[split[0]+r])
+			}
+		}
+	}
+}
+
+func TestRemoteColsAndOwner(t *testing.T) {
+	g := Grid{NX: 4, NY: 4, NZ: 4}
+	N := g.N()
+	const n = 4
+	for loc := 0; loc < n; loc++ {
+		lo, hi := RowRange(N, loc, n)
+		m, err := BuildPoisson(g, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range m.RemoteCols() {
+			if int(c) >= lo && int(c) < hi {
+				t.Fatalf("RemoteCols returned owned column %d", c)
+			}
+			owner := ownerOf(int(c), N, n)
+			olo, ohi := RowRange(N, owner, n)
+			if int(c) < olo || int(c) >= ohi {
+				t.Fatalf("ownerOf(%d) = %d, range [%d,%d)", c, owner, olo, ohi)
+			}
+		}
+	}
+	// Interior blocks must need a halo.
+	lo, hi := RowRange(N, 1, n)
+	m, _ := BuildPoisson(g, lo, hi)
+	if len(m.RemoteCols()) == 0 {
+		t.Fatal("interior block has no halo")
+	}
+}
+
+func TestPackI32RoundTrip(t *testing.T) {
+	in := []int32{0, 1, -5, 1 << 20, math.MaxInt32}
+	out := unpackI32(packI32(in))
+	if len(out) != len(in) {
+		t.Fatal("length")
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("idx %d: %d != %d", i, out[i], in[i])
+		}
+	}
+}
+
+// solveOn runs a full distributed CG solve on the given configuration.
+func solveOn(t *testing.T, pp string, localities int, g Grid) (Result, []float64, []float64) {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{
+		Localities:         localities,
+		WorkersPerLocality: 2,
+		Parcelport:         pp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(rt, Params{Grid: g, MaxIter: 500, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+
+	// Known solution: b = A xTrue.
+	rng := rand.New(rand.NewSource(11))
+	xTrue := make([]float64, g.N())
+	for i := range xTrue {
+		xTrue[i] = rng.Float64()
+	}
+	b := denseSpMV(g, xTrue)
+	if err := s.SetRHS(b); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, s.Solution(), xTrue
+}
+
+func TestSolvePoissonLCI(t *testing.T) {
+	res, x, xTrue := solveOn(t, "lci", 3, Grid{NX: 6, NY: 5, NZ: 4})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	var maxErr float64
+	for i := range x {
+		if e := math.Abs(x[i] - xTrue[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Fatalf("solution error %g", maxErr)
+	}
+}
+
+func TestSolvePoissonMPI(t *testing.T) {
+	res, _, _ := solveOn(t, "mpi_i", 2, Grid{NX: 4, NY: 4, NZ: 4})
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+}
+
+func TestSolveZeroRHS(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Localities: 2, WorkersPerLocality: 2, Parcelport: "lci"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Grid{NX: 3, NY: 3, NZ: 3}
+	s, err := New(rt, Params{Grid: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if err := s.SetRHS(make([]float64, g.N())); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve()
+	if err != nil || !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero rhs: %+v, %v", res, err)
+	}
+	if err := s.SetRHS(make([]float64, 5)); err == nil {
+		t.Fatal("wrong rhs length should fail")
+	}
+}
+
+func TestSolveIndependentOfPartitioning(t *testing.T) {
+	g := Grid{NX: 4, NY: 4, NZ: 3}
+	_, x1, _ := solveOn(t, "lci", 1, g)
+	_, x4, _ := solveOn(t, "mpi", 4, g)
+	for i := range x1 {
+		if math.Abs(x1[i]-x4[i]) > 1e-6 {
+			t.Fatalf("solutions diverge at %d: %g vs %g", i, x1[i], x4[i])
+		}
+	}
+}

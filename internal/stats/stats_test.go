@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("stddev %g, want %g", s.Stddev, want)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Stddev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("singleton summary %+v", s)
+	}
+}
+
+func TestMeanStddevHelpers(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	if Mean(xs) != 4 {
+		t.Fatal("mean")
+	}
+	if math.Abs(Stddev(xs)-2) > 1e-12 {
+		t.Fatalf("stddev %g", Stddev(xs))
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 {
+		t.Fatal("median sorted the caller's slice")
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			// Keep sums finite: fold huge magnitudes into a sane range.
+			xs[i] = math.Mod(x, 1e9)
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return len(xs) == 0
+		}
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesAndPeak(t *testing.T) {
+	var s Series
+	s.Add(1, 10, 0.5)
+	s.Add(2, 30, 1)
+	s.Add(3, 20, 0)
+	if s.PeakY() != 30 {
+		t.Fatalf("peak %g", s.PeakY())
+	}
+	if len(s.Points) != 3 || s.Points[1].Yerr != 1 {
+		t.Fatalf("points %+v", s.Points)
+	}
+	empty := &Series{}
+	if empty.PeakY() != 0 {
+		t.Fatal("empty peak")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{Title: "Test Fig", XLabel: "x", YLabel: "y"}
+	s := fig.AddSeries("series-a")
+	s.Add(1, 2, 0.1)
+	out := fig.Render()
+	for _, needle := range []string{"# Test Fig", "x=x", "y=y", "## series-a", "1", "2", "0.1"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("render missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %g", got)
+	}
+	if got := Percentile(xs, 75); got != 4 {
+		t.Fatalf("p75 = %g", got)
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 25); got != 2.5 {
+		t.Fatalf("interpolated p25 = %g", got)
+	}
+	// Must not mutate the input.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	tr := New(8)
+	tr.Emit("a", "b", 1)
+	if tr.Total() != 0 || len(tr.Dump()) != 0 {
+		t.Fatal("disabled tracer recorded events")
+	}
+	if tr.Enabled() {
+		t.Fatal("fresh tracer enabled")
+	}
+}
+
+func TestEmitAndDumpOrdered(t *testing.T) {
+	tr := New(16)
+	tr.Enable(true)
+	for i := 0; i < 5; i++ {
+		tr.Emit("cat", "ev", int64(i))
+	}
+	evs := tr.Dump()
+	if len(evs) != 5 || tr.Total() != 5 {
+		t.Fatalf("dump %d events, total %d", len(evs), tr.Total())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+	if evs[0].Cat != "cat" || evs[0].Label != "ev" {
+		t.Fatalf("event %+v", evs[0])
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(4)
+	tr.Enable(true)
+	for i := 0; i < 10; i++ {
+		tr.Emit("c", "e", int64(i))
+	}
+	evs := tr.Dump()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	// The oldest retained event must be one of the most recent four.
+	for _, e := range evs {
+		if e.Arg < 6 {
+			t.Fatalf("stale event %d retained", e.Arg)
+		}
+	}
+}
+
+func TestStringRender(t *testing.T) {
+	tr := New(4)
+	tr.Enable(true)
+	tr.Emit("parcel", "send", 42)
+	s := tr.String()
+	if !strings.Contains(s, "parcel") || !strings.Contains(s, "send") || !strings.Contains(s, "42") {
+		t.Fatalf("render: %q", s)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(1024)
+	tr.Enable(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit("c", "e", int64(g*1000+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Total() != 1600 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	if len(tr.Dump()) != 1024 {
+		t.Fatalf("retained %d", len(tr.Dump()))
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	tr := New(0)
+	tr.Enable(true)
+	tr.Emit("a", "b", 0)
+	if len(tr.Dump()) != 1 {
+		t.Fatal("default-capacity tracer broken")
+	}
+}
