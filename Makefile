@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz examples experiments clean
+.PHONY: all build vet test race check bench fuzz examples experiments clean
 
 all: build vet test
+
+# The full gate: build, vet, tests, and the race detector over the
+# concurrency-heavy packages (communication libraries, fabric ARQ,
+# parcelports).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -16,7 +21,7 @@ test:
 	$(GO) test ./... -timeout 900s
 
 race:
-	$(GO) test -race ./... -timeout 1800s
+	$(GO) test -race ./internal/lci/... ./internal/mpisim/... ./internal/fabric/... ./internal/parcelport/... -timeout 1800s
 
 bench:
 	$(GO) test -bench=. -benchmem ./... -timeout 3600s

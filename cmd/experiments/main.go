@@ -7,7 +7,7 @@
 //	experiments [-scale full|quick] [-out dir] <target>...
 //
 // Targets: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-// fig9 fig10 fig11 ablation-mpi all
+// fig9 fig10 fig11 ablation-mpi reliability all
 package main
 
 import (
@@ -36,7 +36,7 @@ func main() {
 	format := flag.String("format", "text", "figure output format: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick] [-out dir] <target>...\n")
-		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails all\n")
+		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability all\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -61,6 +61,7 @@ func main() {
 			"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 			"fig7", "fig8", "fig9", "fig10", "fig11",
 			"ablation-mpi", "ablation-multidev", "profile", "check", "latency-tails",
+			"reliability",
 		}
 	}
 	if *format != "text" && *format != "csv" {
@@ -141,6 +142,8 @@ func run(target string, sc bench.Scale, csv bool) (string, error) {
 		return bench.ClaimsText(sc)
 	case "latency-tails":
 		return figure(bench.LatencyTails)
+	case "reliability":
+		return bench.ReliabilityText(sc)
 	default:
 		return "", fmt.Errorf("unknown target %q", target)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"hpxgo/internal/bench"
 	"hpxgo/internal/core"
+	"hpxgo/internal/fabric"
 )
 
 func main() {
@@ -23,11 +24,27 @@ func main() {
 	rate := flag.Float64("rate", 0, "attempted injection rate in msgs/s (0 = unlimited)")
 	workers := flag.Int("workers", bench.Expanse.WorkersPerLocality, "worker threads per locality")
 	stats := flag.Bool("stats", false, "print runtime performance counters after the run")
+	reliable := flag.Bool("reliable", false, "enable end-to-end reliable delivery (implied by any fault probability)")
+	drop := flag.Float64("drop", 0, "fault injection: per-transmission packet drop probability")
+	dup := flag.Float64("dup", 0, "fault injection: packet duplication probability")
+	corrupt := flag.Float64("corrupt", 0, "fault injection: packet corruption probability")
+	spike := flag.Float64("spike", 0, "fault injection: latency spike probability")
+	seed := flag.Int64("faultseed", 1, "fault injection: RNG seed")
 	flag.Parse()
 
 	params := bench.MsgRateParams{
 		Size: *size, Batch: *batch, Total: *total, Rate: *rate,
 		Workers: *workers, Fabric: bench.Expanse.Fabric(2),
+	}
+	params.Fabric.Reliability = *reliable
+	if *drop != 0 || *dup != 0 || *corrupt != 0 || *spike != 0 {
+		params.Fabric.Faults = fabric.FaultConfig{
+			DropProb: *drop, DupProb: *dup, CorruptProb: *corrupt,
+			SpikeProb: *spike, Seed: *seed,
+		}
+		params.Fabric.RetransmitTimeoutNs = 200_000
+		params.Fabric.AckDelayNs = 50_000
+		params.Fabric.RetryBudget = 50
 	}
 	if *stats {
 		params.Inspect = func(rt *core.Runtime) { fmt.Print(rt.StatsText()) }

@@ -62,6 +62,30 @@ func TestMessageRateValidation(t *testing.T) {
 	}
 }
 
+func TestReliabilityOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead comparison in -short mode")
+	}
+	res, err := ReliabilityOverhead("lci", MsgRateParams{Size: 8, Batch: 50, Total: 5000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.MsgRate <= 0 || res.Reliable.MsgRate <= 0 || res.Lossy.MsgRate <= 0 {
+		t.Fatalf("non-positive rates: %+v", res)
+	}
+	// With faults disabled the ARQ takes the lossless fast path (no
+	// retransmission buffer, lock-free sender state), so the overhead is
+	// ~0% — but this CI host is a single shared CPU with ±10-20%
+	// run-to-run noise even under best-of-3, so assert a floor wide enough
+	// not to flake. Measured numbers are recorded in EXPERIMENTS.md.
+	if res.Reliable.MsgRate < 0.75*res.Baseline.MsgRate {
+		t.Fatalf("fault-free reliability too costly: baseline %.0f vs reliable %.0f msg/s (%.1f%%)",
+			res.Baseline.MsgRate, res.Reliable.MsgRate, res.OverheadPct)
+	}
+	t.Logf("baseline %.0f, reliable %.0f (overhead %.1f%%), 1%%-lossy %.0f msg/s",
+		res.Baseline.MsgRate, res.Reliable.MsgRate, res.OverheadPct, res.Lossy.MsgRate)
+}
+
 func TestLatencyBasic(t *testing.T) {
 	us, err := Latency("lci", LatencyParams{Size: 8, Window: 1, Steps: 40, Workers: 2})
 	if err != nil {

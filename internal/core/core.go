@@ -12,6 +12,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,11 @@ import (
 
 // continuationAction is the reserved action id that completes Call futures.
 const continuationAction = 0
+
+// ErrPeerUnreachable is wrapped into the errors of Call futures and Apply
+// when the fabric declared the destination HealthDown, or a Call exceeded
+// Config.DeliveryTimeout. Test with errors.Is.
+var ErrPeerUnreachable = errors.New("core: peer unreachable")
 
 // ActionFunc is a registered remote action: it runs as a task on the target
 // locality and returns result blobs (nil for void actions).
@@ -65,6 +71,11 @@ type Config struct {
 	MPI mpisim.Config
 	// IdleSleep tunes worker backoff; see amt.Config.
 	IdleSleep time.Duration
+	// DeliveryTimeout bounds how long a Call future may wait for its remote
+	// result before failing with ErrPeerUnreachable. Zero disables the
+	// deadline; continuations to peers the fabric declares HealthDown are
+	// reaped regardless whenever the fabric's reliability layer is active.
+	DeliveryTimeout time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -81,7 +92,17 @@ func (c *Config) fillDefaults() {
 		c.ZeroCopyThreshold = serialization.DefaultZeroCopyThreshold
 	}
 	if c.Fabric.Nodes == 0 && c.Fabric.LatencyNs == 0 && c.Fabric.GbitsPerSec == 0 {
-		c.Fabric = fabric.DefaultConfig(c.Localities)
+		// Fill in the interconnect model field-wise so a config that only
+		// sets fault/reliability knobs (or Rails etc.) keeps them.
+		def := fabric.DefaultConfig(c.Localities)
+		c.Fabric.LatencyNs = def.LatencyNs
+		c.Fabric.GbitsPerSec = def.GbitsPerSec
+		if c.Fabric.Rails == 0 {
+			c.Fabric.Rails = def.Rails
+		}
+		if c.Fabric.PacketOverheadBytes == 0 {
+			c.Fabric.PacketOverheadBytes = def.PacketOverheadBytes
+		}
 	}
 	if c.LCIDevices <= 0 {
 		c.LCIDevices = 1
@@ -124,6 +145,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{cfg: cfg, ppCfg: ppCfg, net: net, byName: make(map[string]uint32), tracer: trace.New(0)}
+	net.SetTrace(rt.tracer.Emit)
 	// Reserve the continuation action.
 	rt.byID = append(rt.byID, rt.runContinuation)
 	rt.names = append(rt.names, "__continuation")
@@ -156,7 +178,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 
 // buildLocality wires scheduler, parcelport and parcel layer for node i.
 func (rt *Runtime) buildLocality(i int) (*Locality, error) {
-	loc := &Locality{rt: rt, id: i, conts: make(map[uint64]*amt.Future[[][]byte])}
+	loc := &Locality{rt: rt, id: i, conts: make(map[uint64]contEntry)}
 	loc.sched = amt.New(amt.Config{
 		Workers:   rt.cfg.WorkersPerLocality,
 		Name:      fmt.Sprintf("locality-%d", i),
@@ -193,7 +215,20 @@ func (rt *Runtime) buildLocality(i int) (*Locality, error) {
 		Immediate:         rt.ppCfg.Immediate,
 		MaxMessageBytes:   rt.cfg.MaxMessageBytes,
 	}, loc.pp.Send)
-	loc.sched.SetBackground(loc.pp.BackgroundWork)
+	bg := loc.pp.BackgroundWork
+	if rt.cfg.DeliveryTimeout > 0 || rt.net.Config().Reliability {
+		// Fold the continuation reaper into background work so delivery
+		// timeouts and dead peers are noticed without a dedicated thread.
+		loc.sched.SetBackground(func(workerID int) bool {
+			did := bg(workerID)
+			if loc.reapDeadContinuations() {
+				did = true
+			}
+			return did
+		})
+	} else {
+		loc.sched.SetBackground(bg)
+	}
 	return loc, nil
 }
 
@@ -334,13 +369,20 @@ func (rt *Runtime) runContinuation(loc *Locality, args [][]byte) [][]byte {
 	}
 	id := binary.LittleEndian.Uint64(args[0])
 	loc.contMu.Lock()
-	f := loc.conts[id]
+	e, ok := loc.conts[id]
 	delete(loc.conts, id)
 	loc.contMu.Unlock()
-	if f != nil {
-		f.Set(args[1:], nil)
+	if ok {
+		e.f.Set(args[1:], nil)
 	}
 	return nil
+}
+
+// contEntry is one Call awaiting its remote result.
+type contEntry struct {
+	f          *amt.Future[[][]byte]
+	dst        int
+	deadlineNs int64 // unix nanos; 0 = no deadline
 }
 
 // Locality is one simulated compute node: scheduler, parcelport, parcel
@@ -354,9 +396,10 @@ type Locality struct {
 	lciDev *lci.Device // LCI transport only (stats)
 
 	contMu   sync.Mutex
-	conts    map[uint64]*amt.Future[[][]byte]
+	conts    map[uint64]contEntry
 	nextCont atomic.Uint64
 
+	nextReapNs      atomic.Int64 // rate-gates the continuation reaper
 	parcelsExecuted atomic.Uint64
 }
 
@@ -414,6 +457,9 @@ func (l *Locality) ApplyID(dst int, id uint32, args [][]byte) error {
 		})
 		return nil
 	}
+	if l.peerDown(dst) {
+		return fmt.Errorf("core: apply to locality %d: %w", dst, ErrPeerUnreachable)
+	}
 	l.rt.tracer.Emit("parcel", "apply", int64(dst))
 	l.layer.Put(&serialization.Parcel{Source: l.id, Dest: dst, Action: id, Args: args})
 	return nil
@@ -451,13 +497,71 @@ func (l *Locality) callID(dst int, id uint32, args [][]byte, f *amt.Future[[][]b
 		})
 		return f
 	}
+	if l.peerDown(dst) {
+		f.Set(nil, fmt.Errorf("core: call to locality %d: %w", dst, ErrPeerUnreachable))
+		return f
+	}
 	l.rt.tracer.Emit("parcel", "call", int64(dst))
 	cid := l.nextCont.Add(1)
+	var deadline int64
+	if d := l.rt.cfg.DeliveryTimeout; d > 0 {
+		deadline = time.Now().Add(d).UnixNano()
+	}
 	l.contMu.Lock()
-	l.conts[cid] = f
+	l.conts[cid] = contEntry{f: f, dst: dst, deadlineNs: deadline}
 	l.contMu.Unlock()
 	l.layer.Put(&serialization.Parcel{Source: l.id, Dest: dst, Action: id, ContID: cid, Args: args})
 	return f
+}
+
+// peerDown reports whether the fabric has declared the path to dst dead.
+// Always false on the TCP transport (it does not ride the simulated fabric).
+func (l *Locality) peerDown(dst int) bool {
+	if l.rt.ppCfg.Transport == parcelport.TransportTCP {
+		return false
+	}
+	return l.rt.net.PeerHealth(l.id, dst) == fabric.HealthDown
+}
+
+// reapDeadContinuations fails Call futures whose deadline passed or whose
+// destination the fabric declared down, and discards parcels queued for dead
+// peers. Rate-gated to one pass per millisecond per locality; reports
+// whether any future was reaped.
+func (l *Locality) reapDeadContinuations() bool {
+	now := time.Now().UnixNano()
+	next := l.nextReapNs.Load()
+	if now < next || !l.nextReapNs.CompareAndSwap(next, now+int64(time.Millisecond)) {
+		return false
+	}
+	downCache := make(map[int]bool)
+	isDown := func(dst int) bool {
+		v, ok := downCache[dst]
+		if !ok {
+			v = l.peerDown(dst)
+			downCache[dst] = v
+		}
+		return v
+	}
+	var victims []contEntry
+	l.contMu.Lock()
+	for id, e := range l.conts {
+		if (e.deadlineNs > 0 && now > e.deadlineNs) || isDown(e.dst) {
+			delete(l.conts, id)
+			victims = append(victims, e)
+		}
+	}
+	l.contMu.Unlock()
+	for dst, down := range downCache {
+		if down {
+			l.layer.DiscardDest(dst)
+		}
+	}
+	for _, e := range victims {
+		l.rt.tracer.Emit("parcel", "reap", int64(e.dst))
+		e.f.Set(nil, fmt.Errorf("core: call to locality %d: no response before delivery timeout: %w",
+			e.dst, ErrPeerUnreachable))
+	}
+	return len(victims) > 0
 }
 
 // deliver is the parcelport's delivery callback: decode the HPX message and

@@ -46,6 +46,21 @@ func (rt *Runtime) StatsText() string {
 			fs := rt.net.Device(i).Stats()
 			fmt.Fprintf(&b, "  fabric: injected %d pkts / %d B, delivered %d pkts / %d B, backpressured %d\n",
 				fs.InjectedPackets, fs.InjectedBytes, fs.DeliveredPackets, fs.DeliveredBytes, fs.Backpressured)
+			if rt.net.Config().Reliability {
+				fmt.Fprintf(&b, "  fabric reliability: %d retransmits, %d acks sent, dropped %d corrupt / %d dup / %d to-down-links, %d links downed\n",
+					fs.Retransmits, fs.AcksSent, fs.CorruptDropped, fs.DupDropped, fs.DownDropped, fs.LinksDowned)
+				if rt.net.Config().Faults.Active() {
+					fmt.Fprintf(&b, "  fabric faults: %d dropped, %d duplicated, %d corrupted, %d latency spikes\n",
+						fs.FaultDropped, fs.FaultDuplicated, fs.FaultCorrupted, fs.LatencySpikes)
+				}
+				peers := make([]string, 0, rt.Localities()-1)
+				for j := 0; j < rt.Localities(); j++ {
+					if j != i {
+						peers = append(peers, fmt.Sprintf("%d:%s", j, rt.net.PeerHealth(i, j)))
+					}
+				}
+				fmt.Fprintf(&b, "  peer health: %s\n", strings.Join(peers, " "))
+			}
 		}
 	}
 	return b.String()

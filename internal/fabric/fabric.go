@@ -17,9 +17,15 @@
 //   - Shared receive structures: the per-device RX queues are lock-protected
 //     and become real contention points when many threads poll concurrently.
 //
-// Delivery is reliable: packets are never dropped or corrupted (matching the
-// reliable-connection InfiniBand transport used in the paper). Tests may use
-// the fault hooks to exercise library backpressure paths.
+// By default delivery is reliable: packets are never dropped or corrupted
+// (matching the reliable-connection InfiniBand transport used in the paper).
+// Config.Faults injects seeded per-link packet drop, duplication, payload
+// corruption and latency spikes; Config.Reliability (implied by active
+// faults) enables the link-level ARQ in rel.go that absorbs them — sequence
+// numbers, checksums, dedup, cumulative acks and retransmission with
+// exponential backoff — so the libraries above still observe exactly-once
+// (possibly reordered) delivery, and a dead peer surfaces as HealthDown
+// instead of a silent hang.
 package fabric
 
 import (
@@ -59,6 +65,24 @@ type Config struct {
 	// i of a node delivers only to device i of the destination. Zero
 	// defaults to 1.
 	DevicesPerNode int
+
+	// Faults injects seeded transport faults (see FaultConfig). Any active
+	// fault implies Reliability.
+	Faults FaultConfig
+	// Reliability enables the link-level ARQ even without injected faults,
+	// to measure its overhead or to get per-peer health tracking.
+	Reliability bool
+	// RetransmitTimeoutNs is the base retransmission timeout (wall clock);
+	// attempt k backs off exponentially from it with ±25% jitter. Zero
+	// defaults to 300µs.
+	RetransmitTimeoutNs int64
+	// RetryBudget is the number of transmission attempts per packet before
+	// the link is declared HealthDown. Zero defaults to 16.
+	RetryBudget int
+	// AckDelayNs is how long a receiver waits for reverse traffic to
+	// piggyback an ack before sending a standalone one. Zero defaults
+	// to 100µs.
+	AckDelayNs int64
 }
 
 // DefaultConfig returns a configuration loosely modelled on a single HDR
@@ -78,18 +102,38 @@ type Network struct {
 	cfg     Config
 	start   time.Time
 	devices [][]*Device // [node][deviceIndex]
+	trace   func(cat, label string, arg int64)
 }
 
 // NewNetwork builds the network and Config.DevicesPerNode devices per node.
+// Malformed configurations (negative counts, probabilities outside [0, 1])
+// are rejected; zero values select documented defaults.
 func NewNetwork(cfg Config) (*Network, error) {
-	if cfg.Nodes <= 0 {
-		return nil, fmt.Errorf("fabric: Nodes must be positive, got %d", cfg.Nodes)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Rails <= 0 {
+	if cfg.Rails == 0 {
 		cfg.Rails = 1
 	}
-	if cfg.DevicesPerNode <= 0 {
+	if cfg.DevicesPerNode == 0 {
 		cfg.DevicesPerNode = 1
+	}
+	if cfg.Faults.Active() {
+		cfg.Reliability = true
+		if cfg.Faults.SpikeProb > 0 && cfg.Faults.SpikeNs == 0 {
+			cfg.Faults.SpikeNs = 50_000
+		}
+	}
+	if cfg.Reliability {
+		if cfg.RetransmitTimeoutNs == 0 {
+			cfg.RetransmitTimeoutNs = 300_000
+		}
+		if cfg.RetryBudget == 0 {
+			cfg.RetryBudget = 16
+		}
+		if cfg.AckDelayNs == 0 {
+			cfg.AckDelayNs = 100_000
+		}
 	}
 	n := &Network{cfg: cfg, start: time.Now()}
 	n.devices = make([][]*Device, cfg.Nodes)
@@ -101,10 +145,41 @@ func NewNetwork(cfg Config) (*Network, error) {
 			for s := range d.in {
 				d.in[s] = make([]rail, cfg.Rails)
 			}
+			if cfg.Reliability {
+				d.rel = newRelState(d)
+			}
 			n.devices[i][di] = d
 		}
 	}
 	return n, nil
+}
+
+// SetTrace installs an event sink for reliability events (retransmit, ack,
+// corrupt-drop, dup-drop, link-down). Call before traffic starts; the hook
+// is read without synchronization on hot paths.
+func (n *Network) SetTrace(fn func(cat, label string, arg int64)) { n.trace = fn }
+
+// PeerHealth reports the worst directed-link health from any of src's
+// devices toward dst. Always HealthHealthy when reliability is off.
+func (n *Network) PeerHealth(src, dst int) Health {
+	worst := HealthHealthy
+	for _, d := range n.devices[src] {
+		if h := d.PeerHealth(dst); h > worst {
+			worst = h
+		}
+	}
+	return worst
+}
+
+// SetLinkDown administratively cuts the directed link src → dst on every
+// device (a one-way partition; cut both directions for a full one).
+// Requires reliability; a no-op otherwise.
+func (n *Network) SetLinkDown(src, dst int) {
+	for _, d := range n.devices[src] {
+		if d.rel != nil {
+			d.rel.setDown(dst)
+		}
+	}
 }
 
 // Config returns the network configuration.
@@ -137,13 +212,28 @@ type rail struct {
 	nextFreeNs int64 // when the rail's "wire" is free again
 }
 
-// Stats are cumulative per-device counters.
+// Stats are cumulative per-device counters. The reliability and fault
+// counters stay zero when the corresponding feature is off.
 type Stats struct {
 	InjectedPackets  uint64
 	InjectedBytes    uint64
 	DeliveredPackets uint64
 	DeliveredBytes   uint64
 	Backpressured    uint64
+
+	// Reliability-layer counters.
+	Retransmits    uint64 // transmission attempts beyond the first
+	AcksSent       uint64 // standalone ack-only packets emitted
+	CorruptDropped uint64 // arrivals discarded on checksum mismatch
+	DupDropped     uint64 // arrivals discarded as duplicates
+	DownDropped    uint64 // injects blackholed because the link is down
+	LinksDowned    uint64 // links declared HealthDown
+
+	// Fault-injection counters (sender side).
+	FaultDropped    uint64 // transmissions dropped on the wire
+	FaultDuplicated uint64 // transmissions delivered twice
+	FaultCorrupted  uint64 // transmissions with flipped bits
+	LatencySpikes   uint64 // transmissions delayed by a spike
 }
 
 // Device is a node's network interface. Injection is thread-safe; polling is
@@ -160,11 +250,40 @@ type Device struct {
 	railRR atomic.Uint64 // round-robin rail selector for injection
 	pollRR atomic.Uint64 // rotating poll start position
 
+	rel *relState // reliability engine; nil when Config.Reliability is off
+
 	injectedPackets  atomic.Uint64
 	injectedBytes    atomic.Uint64
 	deliveredPackets atomic.Uint64
 	deliveredBytes   atomic.Uint64
 	backpressured    atomic.Uint64
+
+	retransmits     atomic.Uint64
+	acksSent        atomic.Uint64
+	corruptDropped  atomic.Uint64
+	dupDropped      atomic.Uint64
+	downDropped     atomic.Uint64
+	linksDowned     atomic.Uint64
+	faultDropped    atomic.Uint64
+	faultDuplicated atomic.Uint64
+	faultCorrupted  atomic.Uint64
+	latencySpikes   atomic.Uint64
+}
+
+// trace emits a reliability event to the network's trace hook, if any.
+func (d *Device) trace(cat, label string, arg int64) {
+	if fn := d.net.trace; fn != nil {
+		fn(cat, label, arg)
+	}
+}
+
+// PeerHealth reports this device's directed-link health toward dst.
+// Always HealthHealthy when reliability is off.
+func (d *Device) PeerHealth(dst int) Health {
+	if d.rel == nil || dst < 0 || dst >= len(d.rel.tx) {
+		return HealthHealthy
+	}
+	return d.rel.health(dst)
 }
 
 // Node returns the node id of this device.
@@ -178,20 +297,22 @@ func (d *Device) Index() int { return d.idx }
 // immediately — this is what lets the LCI layer return pool packets to its
 // freelist as soon as the send is injected.
 //
-// Inject returns ErrBackpressure when the destination rail is full.
+// Inject returns ErrBackpressure when the destination rail is full. With
+// reliability on, injection into a HealthDown link succeeds silently (the
+// packet is blackholed; upper layers observe the dead peer through health
+// queries and delivery timeouts).
 func (d *Device) Inject(p Packet) error {
 	if p.Dst < 0 || p.Dst >= len(d.net.devices) {
 		return fmt.Errorf("fabric: invalid destination node %d", p.Dst)
 	}
 	p.Src = d.node
-	// Device i talks to device i: replicated contexts are independent lanes.
-	dst := d.net.devices[p.Dst][d.idx]
+	r := d.railFor(p.Dst)
 
-	railIdx := 0
-	if d.net.cfg.Rails > 1 {
-		railIdx = int(d.railRR.Add(1) % uint64(d.net.cfg.Rails))
+	// The reliable path copies the payload itself, into a recycled
+	// retransmission buffer.
+	if d.rel != nil {
+		return d.rel.inject(&p, r)
 	}
-	r := &dst.in[d.node][railIdx]
 
 	// Copy payload into a fabric-owned buffer.
 	stored := &Packet{Src: p.Src, Dst: p.Dst, Op: p.Op, T0: p.T0, T1: p.T1, T2: p.T2}
@@ -200,40 +321,78 @@ func (d *Device) Inject(p Packet) error {
 		copy(stored.Data, p.Data)
 	}
 
-	now := d.net.nowNs()
-	xmit := d.net.xmitNs(len(p.Data))
-
 	r.mu.Lock()
-	if d.net.cfg.MaxInflight > 0 && len(r.q)-r.head >= d.net.cfg.MaxInflight {
+	if d.net.cfg.MaxInflight > 0 && r.queued() >= d.net.cfg.MaxInflight {
 		r.mu.Unlock()
 		d.backpressured.Add(1)
 		return ErrBackpressure
 	}
+	d.enqueueLocked(r, stored, 0)
+	r.mu.Unlock()
+
+	d.injectedPackets.Add(1)
+	d.injectedBytes.Add(uint64(len(stored.Data)))
+	return nil
+}
+
+// railFor picks the (round-robin) destination rail for one transmission to
+// dst. Device i talks to device i: replicated contexts are independent lanes.
+func (d *Device) railFor(dst int) *rail {
+	dstDev := d.net.devices[dst][d.idx]
+	railIdx := 0
+	if d.net.cfg.Rails > 1 {
+		railIdx = int(d.railRR.Add(1) % uint64(d.net.cfg.Rails))
+	}
+	return &dstDev.in[d.node][railIdx]
+}
+
+// enqueue places pkt on rail r under the latency/bandwidth model, with
+// extraNs of additional one-way latency (fault spikes). It never applies
+// backpressure — reliability-layer callers pre-check or deliberately bypass
+// the cap (ARQ liveness must not depend on queue headroom).
+func (d *Device) enqueue(r *rail, pkt *Packet, extraNs int64) {
+	r.mu.Lock()
+	d.enqueueLocked(r, pkt, extraNs)
+	r.mu.Unlock()
+}
+
+// enqueueLocked is enqueue with r.mu held.
+func (d *Device) enqueueLocked(r *rail, pkt *Packet, extraNs int64) {
+	now := d.net.nowNs()
+	xmit := d.net.xmitNs(len(pkt.Data))
 	start := now
 	if r.nextFreeNs > start {
 		start = r.nextFreeNs
 	}
 	r.nextFreeNs = start + xmit
-	stored.arriveNs = start + xmit + d.net.cfg.LatencyNs
-	r.q = append(r.q, stored)
-	r.mu.Unlock()
-
-	d.injectedPackets.Add(1)
-	d.injectedBytes.Add(uint64(len(p.Data)))
-	return nil
+	pkt.arriveNs = start + xmit + d.net.cfg.LatencyNs + extraNs
+	r.q = append(r.q, pkt)
 }
 
 // Poll returns one arrived packet destined to this device, or nil if none has
 // arrived yet. It scans source links starting at a rotating position so no
-// source is starved.
+// source is starved. With reliability on it first runs the time-gated ARQ
+// maintenance (retransmissions, standalone acks) and filters arrivals
+// through the reliability layer — corrupt packets, duplicates and ack-only
+// packets are consumed here and never surface.
 func (d *Device) Poll() *Packet {
+	if d.rel != nil {
+		d.rel.maintain()
+	}
 	now := d.net.nowNs()
 	nLinks := len(d.in) * len(d.in[0])
 	startAt := int(d.pollRR.Add(1))
 	for i := 0; i < nLinks; i++ {
 		idx := (startAt + i) % nLinks
 		r := &d.in[idx/len(d.in[0])][idx%len(d.in[0])]
-		if p := r.tryPop(now); p != nil {
+		for {
+			p := r.tryPop(now)
+			if p == nil {
+				break
+			}
+			if d.rel != nil && !d.rel.admit(p) {
+				continue // consumed by the ARQ; try the same rail again
+			}
 			d.deliveredPackets.Add(1)
 			d.deliveredBytes.Add(uint64(len(p.Data)))
 			return p
@@ -280,7 +439,28 @@ func (d *Device) Stats() Stats {
 		DeliveredPackets: d.deliveredPackets.Load(),
 		DeliveredBytes:   d.deliveredBytes.Load(),
 		Backpressured:    d.backpressured.Load(),
+		Retransmits:      d.retransmits.Load(),
+		AcksSent:         d.acksSent.Load(),
+		CorruptDropped:   d.corruptDropped.Load(),
+		DupDropped:       d.dupDropped.Load(),
+		DownDropped:      d.downDropped.Load(),
+		LinksDowned:      d.linksDowned.Load(),
+		FaultDropped:     d.faultDropped.Load(),
+		FaultDuplicated:  d.faultDuplicated.Load(),
+		FaultCorrupted:   d.faultCorrupted.Load(),
+		LatencySpikes:    d.latencySpikes.Load(),
 	}
+}
+
+// queued reports packets currently on the rail. Caller holds r.mu.
+func (r *rail) queued() int { return len(r.q) - r.head }
+
+// queuedNow is queued with internal locking (reliability-layer pre-check).
+func (r *rail) queuedNow() int {
+	r.mu.Lock()
+	n := len(r.q) - r.head
+	r.mu.Unlock()
+	return n
 }
 
 // tryPop pops the rail's head packet if it has arrived by now.

@@ -1,0 +1,142 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultConfig injects transport-level faults on every directed (src, dst)
+// link. All probabilities are per transmission attempt (retransmissions and
+// standalone acks roll again), so a retransmitted packet can be dropped
+// twice in a row — exactly the behaviour a lossy wire exhibits. Any active
+// fault implies Config.Reliability: the fabric will not silently lose
+// traffic the layers above were promised.
+//
+// Faults are applied on the sender side of the link from a per-link RNG
+// seeded by Seed and the link endpoints, so a single-threaded workload
+// replays identically and a multi-threaded one keeps per-link distributions
+// stable.
+type FaultConfig struct {
+	// DropProb is the probability a transmission never reaches the
+	// destination rail.
+	DropProb float64
+	// DupProb is the probability a transmission is delivered twice.
+	DupProb float64
+	// CorruptProb is the probability a transmission arrives with flipped
+	// bits. Corruption is detected by the packet checksum and the packet is
+	// discarded by the receiver, making it equivalent to a drop plus a
+	// counter increment.
+	CorruptProb float64
+	// SpikeProb is the probability a transmission suffers a transient
+	// latency spike of SpikeNs (a degraded link / congested switch).
+	SpikeProb float64
+	// SpikeNs is the extra one-way latency added on a spike.
+	// Zero defaults to 50µs when SpikeProb > 0.
+	SpikeNs int64
+	// Seed makes the fault streams reproducible. The same seed, topology
+	// and (single-threaded) operation sequence replays the same faults.
+	Seed int64
+}
+
+// Active reports whether any fault is configured.
+func (f FaultConfig) Active() bool {
+	return f.DropProb > 0 || f.DupProb > 0 || f.CorruptProb > 0 || f.SpikeProb > 0
+}
+
+// validate rejects out-of-range fault parameters.
+func (f FaultConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", f.DropProb},
+		{"DupProb", f.DupProb},
+		{"CorruptProb", f.CorruptProb},
+		{"SpikeProb", f.SpikeProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fabric: Faults.%s must be in [0, 1], got %v", p.name, p.v)
+		}
+	}
+	if f.SpikeNs < 0 {
+		return fmt.Errorf("fabric: Faults.SpikeNs must be non-negative, got %d", f.SpikeNs)
+	}
+	return nil
+}
+
+// validate rejects a malformed Config. Negative values are errors rather
+// than silently clamped; zero values select documented defaults.
+func (c Config) validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("fabric: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.LatencyNs < 0 {
+		return fmt.Errorf("fabric: LatencyNs must be non-negative, got %d", c.LatencyNs)
+	}
+	if c.GbitsPerSec < 0 {
+		return fmt.Errorf("fabric: GbitsPerSec must be non-negative, got %v", c.GbitsPerSec)
+	}
+	if c.Rails < 0 {
+		return fmt.Errorf("fabric: Rails must be non-negative, got %d", c.Rails)
+	}
+	if c.MaxInflight < 0 {
+		return fmt.Errorf("fabric: MaxInflight must be non-negative, got %d", c.MaxInflight)
+	}
+	if c.PacketOverheadBytes < 0 {
+		return fmt.Errorf("fabric: PacketOverheadBytes must be non-negative, got %d", c.PacketOverheadBytes)
+	}
+	if c.DevicesPerNode < 0 {
+		return fmt.Errorf("fabric: DevicesPerNode must be non-negative, got %d", c.DevicesPerNode)
+	}
+	if c.RetransmitTimeoutNs < 0 {
+		return fmt.Errorf("fabric: RetransmitTimeoutNs must be non-negative, got %d", c.RetransmitTimeoutNs)
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("fabric: RetryBudget must be non-negative, got %d", c.RetryBudget)
+	}
+	if c.AckDelayNs < 0 {
+		return fmt.Errorf("fabric: AckDelayNs must be non-negative, got %d", c.AckDelayNs)
+	}
+	return c.Faults.validate()
+}
+
+// Health is the observed state of a directed (src, dst) link, derived from
+// the reliability layer's retransmission history.
+type Health uint8
+
+const (
+	// HealthHealthy: acks are flowing, no outstanding retransmissions.
+	HealthHealthy Health = iota
+	// HealthDegraded: several retransmissions since the last ack progress;
+	// the link is slow or lossy but still assumed alive.
+	HealthDegraded
+	// HealthDown: a packet exhausted its retry budget (or the link was
+	// administratively cut). Further sends to the peer are blackholed and
+	// the upper layers surface peer-unreachable errors.
+	HealthDown
+)
+
+// String renders the health state for StatsText reports.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthDown:
+		return "down"
+	}
+	return fmt.Sprintf("Health(%d)", uint8(h))
+}
+
+// linkRNG derives a per-link fault stream: the same seed and endpoints give
+// the same stream regardless of construction order.
+func linkRNG(seed int64, src, dst, devIdx int) *rand.Rand {
+	h := uint64(seed) ^ 0x9E3779B97F4A7C15
+	for _, v := range []uint64{uint64(src), uint64(dst), uint64(devIdx)} {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 31
+	}
+	return rand.New(rand.NewSource(int64(h)))
+}

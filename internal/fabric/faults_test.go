@@ -1,0 +1,308 @@
+package fabric
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// --- Config validation (satellite: reject malformed configs loudly) ---
+
+func TestConfigValidationTable(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"defaults", Config{Nodes: 2}, true},
+		{"full reliability", Config{Nodes: 2, Reliability: true,
+			RetransmitTimeoutNs: 1000, RetryBudget: 3, AckDelayNs: 1000}, true},
+		{"faults in range", Config{Nodes: 2, Faults: FaultConfig{
+			DropProb: 0.5, DupProb: 1, CorruptProb: 0, SpikeProb: 0.01, SpikeNs: 10}}, true},
+		{"zero nodes", Config{Nodes: 0}, false},
+		{"negative nodes", Config{Nodes: -1}, false},
+		{"negative latency", Config{Nodes: 2, LatencyNs: -1}, false},
+		{"negative bandwidth", Config{Nodes: 2, GbitsPerSec: -0.5}, false},
+		{"negative rails", Config{Nodes: 2, Rails: -1}, false},
+		{"negative inflight", Config{Nodes: 2, MaxInflight: -2}, false},
+		{"negative overhead", Config{Nodes: 2, PacketOverheadBytes: -64}, false},
+		{"negative devices", Config{Nodes: 2, DevicesPerNode: -1}, false},
+		{"negative rto", Config{Nodes: 2, RetransmitTimeoutNs: -1}, false},
+		{"negative budget", Config{Nodes: 2, RetryBudget: -1}, false},
+		{"negative ack delay", Config{Nodes: 2, AckDelayNs: -5}, false},
+		{"drop prob > 1", Config{Nodes: 2, Faults: FaultConfig{DropProb: 1.5}}, false},
+		{"dup prob < 0", Config{Nodes: 2, Faults: FaultConfig{DupProb: -0.1}}, false},
+		{"corrupt prob > 1", Config{Nodes: 2, Faults: FaultConfig{CorruptProb: 2}}, false},
+		{"spike prob > 1", Config{Nodes: 2, Faults: FaultConfig{SpikeProb: 1.01}}, false},
+		{"negative spike ns", Config{Nodes: 2, Faults: FaultConfig{SpikeProb: 0.1, SpikeNs: -1}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewNetwork(tc.cfg)
+			if tc.ok && err != nil {
+				t.Fatalf("NewNetwork(%+v) = %v, want success", tc.cfg, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("NewNetwork(%+v) succeeded, want error", tc.cfg)
+			}
+		})
+	}
+}
+
+func TestFaultsImplyReliability(t *testing.T) {
+	n := mustNet(t, Config{Nodes: 2, Faults: FaultConfig{DropProb: 0.1}})
+	cfg := n.Config()
+	if !cfg.Reliability {
+		t.Fatal("active faults should imply Reliability")
+	}
+	if cfg.RetransmitTimeoutNs == 0 || cfg.RetryBudget == 0 || cfg.AckDelayNs == 0 {
+		t.Fatalf("reliability defaults not applied: %+v", cfg)
+	}
+	if n.Device(0).rel == nil {
+		t.Fatal("device has no reliability engine")
+	}
+}
+
+// chaosCfg is a 2-node fabric with every fault class active, tuned so a
+// 1-CPU test host converges quickly (small RTO, generous budget).
+func chaosCfg(seed int64) Config {
+	return Config{
+		Nodes:     2,
+		LatencyNs: 200,
+		Faults: FaultConfig{
+			DropProb:    0.2,
+			DupProb:     0.1,
+			CorruptProb: 0.1,
+			SpikeProb:   0.05,
+			SpikeNs:     5_000,
+			Seed:        seed,
+		},
+		RetransmitTimeoutNs: 100_000,
+		AckDelayNs:          50_000,
+		RetryBudget:         64,
+	}
+}
+
+// TestExactlyOnceUnderFaults drives heavy drop/dup/corruption at the ARQ and
+// checks the upper layer still observes every packet exactly once.
+func TestExactlyOnceUnderFaults(t *testing.T) {
+	n := mustNet(t, chaosCfg(7))
+	a, b := n.Device(0), n.Device(1)
+
+	const total = 500
+	seen := make(map[uint64]int)
+	deadline := time.Now().Add(30 * time.Second)
+	next := uint64(0)
+	for len(seen) < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered only %d/%d distinct packets before deadline", len(seen), total)
+		}
+		if next < total {
+			err := a.Inject(Packet{Dst: 1, Op: 3, T0: next, Data: []byte("payload")})
+			if err == nil {
+				next++
+			} else if err != ErrBackpressure {
+				t.Fatalf("Inject: %v", err)
+			}
+		}
+		if p := b.Poll(); p != nil {
+			seen[p.T0]++
+		}
+		a.Poll() // drive sender-side maintenance (retransmits) and eat acks
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("packet T0=%d delivered %d times, want exactly once", id, c)
+		}
+	}
+
+	st := a.Stats()
+	if st.FaultDropped == 0 || st.FaultDuplicated == 0 || st.FaultCorrupted == 0 {
+		t.Fatalf("fault injection inactive: %+v", st)
+	}
+	if st.Retransmits == 0 {
+		t.Fatalf("expected retransmissions under 20%% drop: %+v", st)
+	}
+	if rb := b.Stats(); rb.CorruptDropped == 0 {
+		t.Fatalf("receiver never saw a corrupt packet: %+v", rb)
+	}
+	if st.LinksDowned != 0 {
+		t.Fatalf("link went down during chaos run: %+v", st)
+	}
+}
+
+// TestRetryBudgetDownsLink: with every transmission corrupted no ack can ever
+// come back, so the packet exhausts its budget and the link goes HealthDown;
+// later injects are blackholed instead of wedging the sender.
+func TestRetryBudgetDownsLink(t *testing.T) {
+	n := mustNet(t, Config{
+		Nodes:               2,
+		Faults:              FaultConfig{CorruptProb: 1, Seed: 1},
+		RetransmitTimeoutNs: 30_000,
+		AckDelayNs:          30_000,
+		RetryBudget:         3,
+	})
+	a, b := n.Device(0), n.Device(1)
+	if err := a.Inject(Packet{Dst: 1, T0: 9, Data: []byte("doomed")}); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for n.PeerHealth(0, 1) != HealthDown {
+		if time.Now().After(deadline) {
+			t.Fatalf("link never went down; health=%v stats=%+v", n.PeerHealth(0, 1), a.Stats())
+		}
+		a.Poll()
+		if p := b.Poll(); p != nil {
+			t.Fatalf("corrupt packet surfaced to the upper layer: %+v", p)
+		}
+	}
+	st := a.Stats()
+	if st.LinksDowned != 1 {
+		t.Fatalf("LinksDowned = %d, want 1", st.LinksDowned)
+	}
+	if a.rel.unackedTo(1) != 0 {
+		t.Fatal("unacked window not cleared on link-down")
+	}
+	// Sends into a down link succeed silently but deliver nothing.
+	if err := a.Inject(Packet{Dst: 1, T0: 10}); err != nil {
+		t.Fatalf("Inject into down link: %v", err)
+	}
+	if st := a.Stats(); st.DownDropped != 1 {
+		t.Fatalf("DownDropped = %d, want 1", st.DownDropped)
+	}
+}
+
+func TestSetLinkDownAndHealth(t *testing.T) {
+	n := mustNet(t, Config{Nodes: 3, Reliability: true})
+	if h := n.PeerHealth(0, 2); h != HealthHealthy {
+		t.Fatalf("initial health = %v, want healthy", h)
+	}
+	n.SetLinkDown(0, 2)
+	if h := n.PeerHealth(0, 2); h != HealthDown {
+		t.Fatalf("health after SetLinkDown = %v, want down", h)
+	}
+	if h := n.PeerHealth(0, 1); h != HealthHealthy {
+		t.Fatalf("unrelated link health = %v, want healthy", h)
+	}
+	if h := n.PeerHealth(2, 0); h != HealthHealthy {
+		t.Fatalf("reverse direction health = %v, want healthy (one-way cut)", h)
+	}
+}
+
+// TestSeededReproducibility: identical seeds and a single-threaded operation
+// sequence produce identical fault rolls and deliveries. Retransmission and
+// ack timers are pushed out past the test horizon so wall-clock jitter cannot
+// perturb the per-link RNG streams.
+func TestSeededReproducibility(t *testing.T) {
+	run := func() ([]uint64, Stats) {
+		n := mustNet(t, Config{
+			Nodes: 2,
+			Faults: FaultConfig{
+				DropProb: 0.3, DupProb: 0.2, CorruptProb: 0.1, Seed: 42,
+			},
+			RetransmitTimeoutNs: int64(time.Hour),
+			AckDelayNs:          int64(time.Hour),
+			RetryBudget:         1000,
+		})
+		a, b := n.Device(0), n.Device(1)
+		for i := 0; i < 200; i++ {
+			if err := a.Inject(Packet{Dst: 1, T0: uint64(i), Data: []byte{byte(i)}}); err != nil {
+				t.Fatalf("Inject: %v", err)
+			}
+		}
+		var got []uint64
+		idle := 0
+		for idle < 100 {
+			if p := b.Poll(); p != nil {
+				got = append(got, p.T0)
+				idle = 0
+			} else {
+				idle++
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		return got, a.Stats()
+	}
+	got1, st1 := run()
+	got2, st2 := run()
+	if len(got1) != len(got2) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(got1), len(got2))
+	}
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("delivery sets differ at %d: %d vs %d", i, got1[i], got2[i])
+		}
+	}
+	if st1.FaultDropped != st2.FaultDropped ||
+		st1.FaultDuplicated != st2.FaultDuplicated ||
+		st1.FaultCorrupted != st2.FaultCorrupted {
+		t.Fatalf("fault streams differ: %+v vs %+v", st1, st2)
+	}
+	if st1.FaultDropped == 0 {
+		t.Fatal("no drops rolled; test is vacuous")
+	}
+}
+
+// TestAckDrainsUnacked: on a healthy reliable link the receiver's ack (idle
+// timer driven, no reverse traffic) empties the sender's unacked window.
+func TestAckDrainsUnacked(t *testing.T) {
+	n := mustNet(t, Config{
+		Nodes:               2,
+		Reliability:         true,
+		RetransmitTimeoutNs: int64(time.Second), // no retransmits needed
+		AckDelayNs:          50_000,
+	})
+	a, b := n.Device(0), n.Device(1)
+	for i := 0; i < 5; i++ {
+		if err := a.Inject(Packet{Dst: 1, T0: uint64(i), Data: []byte("x")}); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		pollWait(t, b, time.Second)
+	}
+	if w := a.rel.unackedTo(1); w != 5 {
+		t.Fatalf("unacked window = %d before ack, want 5", w)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.rel.unackedTo(1) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("unacked window never drained: %d left, b stats %+v",
+				a.rel.unackedTo(1), b.Stats())
+		}
+		b.Poll() // receiver's idle timer emits the standalone ack
+		a.Poll() // sender consumes it
+	}
+	if st := b.Stats(); st.AcksSent == 0 {
+		t.Fatalf("no standalone ack was sent: %+v", st)
+	}
+	if h := n.PeerHealth(0, 1); h != HealthHealthy {
+		t.Fatalf("health after clean run = %v, want healthy", h)
+	}
+}
+
+// TestReliabilityNoFaultsTransparent: with Reliability on but no faults the
+// fabric still delivers everything exactly once and upper-layer metadata
+// (Op, T0..T2, payload) is untouched by the framing.
+func TestReliabilityNoFaultsTransparent(t *testing.T) {
+	n := mustNet(t, Config{Nodes: 2, Reliability: true, LatencyNs: 100})
+	a, b := n.Device(0), n.Device(1)
+	payload := []byte("reliable payload")
+	if err := a.Inject(Packet{Dst: 1, Op: 9, T0: 1, T1: 2, T2: 3, Data: payload}); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	p := pollWait(t, b, time.Second)
+	if p.Op != 9 || p.T0 != 1 || p.T1 != 2 || p.T2 != 3 || string(p.Data) != string(payload) {
+		t.Fatalf("metadata mangled by reliability framing: %+v", p)
+	}
+	if q := b.Poll(); q != nil {
+		t.Fatalf("duplicate delivery without faults: %+v", q)
+	}
+}
+
+func TestHealthString(t *testing.T) {
+	if HealthHealthy.String() != "healthy" || HealthDegraded.String() != "degraded" ||
+		HealthDown.String() != "down" {
+		t.Fatal("Health.String mismatch")
+	}
+}

@@ -15,6 +15,12 @@ type Packet struct {
 	Data []byte
 
 	arriveNs int64 // set by Inject; visible to Poll once passed
+
+	// Reliability framing (rel.go); zero when Config.Reliability is off.
+	relSeq   uint64 // per-(src, dst, device) sequence number, 1-based
+	relAck   uint64 // piggybacked cumulative ack for the reverse direction
+	relFlags uint8
+	sum      uint32 // checksum over metadata + payload
 }
 
 // ArrivedAtNs exposes the computed arrival time (nanoseconds since network

@@ -48,10 +48,11 @@ func (c *Config) fillDefaults() {
 
 // Stats are cumulative parcel-layer counters.
 type Stats struct {
-	ParcelsSent     uint64
-	MessagesSent    uint64
-	AggregatedSends uint64 // messages that carried more than one parcel
-	CacheExhausted  uint64 // times the connection cache hit its cap
+	ParcelsSent      uint64
+	MessagesSent     uint64
+	AggregatedSends  uint64 // messages that carried more than one parcel
+	CacheExhausted   uint64 // times the connection cache hit its cap
+	DiscardedParcels uint64 // parcels dropped for unreachable destinations
 }
 
 // Layer is the per-locality parcel sending layer.
@@ -60,10 +61,11 @@ type Layer struct {
 	sendf func(dst int, m *serialization.Message)
 	dests []*destState
 
-	parcelsSent     atomic.Uint64
-	messagesSent    atomic.Uint64
-	aggregatedSends atomic.Uint64
-	cacheExhausted  atomic.Uint64
+	parcelsSent      atomic.Uint64
+	messagesSent     atomic.Uint64
+	aggregatedSends  atomic.Uint64
+	cacheExhausted   atomic.Uint64
+	discardedParcels atomic.Uint64
 }
 
 // destState holds the two lock-protected structures of one destination.
@@ -94,11 +96,31 @@ func (l *Layer) ZeroCopyThreshold() int { return l.cfg.ZeroCopyThreshold }
 // Stats returns a snapshot of the layer counters.
 func (l *Layer) Stats() Stats {
 	return Stats{
-		ParcelsSent:     l.parcelsSent.Load(),
-		MessagesSent:    l.messagesSent.Load(),
-		AggregatedSends: l.aggregatedSends.Load(),
-		CacheExhausted:  l.cacheExhausted.Load(),
+		ParcelsSent:      l.parcelsSent.Load(),
+		MessagesSent:     l.messagesSent.Load(),
+		AggregatedSends:  l.aggregatedSends.Load(),
+		CacheExhausted:   l.cacheExhausted.Load(),
+		DiscardedParcels: l.discardedParcels.Load(),
 	}
+}
+
+// DiscardDest drops every parcel queued for dst and reports how many were
+// discarded. The runtime calls this when the fabric declares the peer down:
+// the queued parcels could otherwise pin a dead destination's connection
+// forever, and their continuations have already been failed by the reaper.
+func (l *Layer) DiscardDest(dst int) int {
+	if dst < 0 || dst >= len(l.dests) {
+		return 0
+	}
+	d := l.dests[dst]
+	d.queueMu.Lock()
+	n := len(d.queue)
+	d.queue = nil
+	d.queueMu.Unlock()
+	if n > 0 {
+		l.discardedParcels.Add(uint64(n))
+	}
+	return n
 }
 
 // Put hands one parcel to the sending machinery.

@@ -1,6 +1,7 @@
 package parcelport
 
 import (
+	"bytes"
 	"testing"
 
 	"hpxgo/internal/serialization"
@@ -21,6 +22,27 @@ func FuzzDecodeHeader(f *testing.F) {
 	}
 	f.Add(buf[:n])
 	f.Add([]byte{})
+
+	// Corrupted-wire seeds: the fabric's fault injector flips bits and
+	// truncates in flight; the decoder must reject (or round-trip) every
+	// mutation without panicking.
+	for _, bit := range []int{0, 7, 31, 8 * (n / 2), 8*n - 1} {
+		flipped := append([]byte(nil), buf[:n]...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		f.Add(flipped)
+	}
+	for _, cut := range []int{1, n / 2, n - 1} {
+		f.Add(append([]byte(nil), buf[:cut]...))
+	}
+	// Size fields maxed out: length claims far beyond the data.
+	maxed := append([]byte(nil), buf[:n]...)
+	for i := 4; i < n && i < 28; i++ {
+		maxed[i] = 0xFF
+	}
+	f.Add(maxed)
+	// All zeros and all ones at the fixed header size.
+	f.Add(make([]byte, n))
+	f.Add(bytes.Repeat([]byte{0xFF}, n))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, err := DecodeHeader(data)
 		if err != nil {

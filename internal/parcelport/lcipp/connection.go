@@ -22,9 +22,10 @@ type lconn struct {
 	peer int
 	recv bool // receiver side?
 
-	mu      sync.Mutex
-	done    bool
-	waiting bool // a tracked operation is outstanding
+	mu       sync.Mutex
+	done     bool
+	waiting  bool // a tracked operation is outstanding
+	released bool // sender's tag block returned to the allocator
 
 	baseTag uint32
 	tagIdx  int // follow-up messages consumed so far (receiver)
@@ -72,6 +73,22 @@ func newSenderConn(pp *Parcelport, dst int, m *serialization.Message) *lconn {
 	c.baseTag = pp.tags.Block(n)
 	c.dev, _ = pp.devFor(c.baseTag)
 	return c
+}
+
+// finishSenderLocked marks a sender connection done and returns its reserved
+// tag block to the allocator, exactly once, so the tags cannot be matched to
+// a second live connection. Caller holds c.mu.
+func (c *lconn) finishSenderLocked() {
+	c.done = true
+	if c.released {
+		return
+	}
+	c.released = true
+	n := len(c.segs)
+	if n == 0 {
+		n = 1
+	}
+	c.pp.tags.Release(c.baseTag, n)
 }
 
 // start sends the header and advances as far as possible.
@@ -143,7 +160,7 @@ func (c *lconn) postHeaderLocked() bool {
 		n, _, _, encErr := parcelport.EncodeHeader(pkt.Data, c.baseTag, c.msg, max, true)
 		if encErr != nil {
 			c.dev.PutPacket(pkt)
-			c.done = true
+			c.finishSenderLocked()
 			return false
 		}
 		if err := c.dev.PutdPacket(c.peer, 0, pkt, n); err != nil {
@@ -152,7 +169,7 @@ func (c *lconn) postHeaderLocked() bool {
 				pp.addRetry(c)
 				return false
 			}
-			c.done = true
+			c.finishSenderLocked()
 			return false
 		}
 	case parcelport.SendRecv:
@@ -160,7 +177,7 @@ func (c *lconn) postHeaderLocked() bool {
 		buf := make([]byte, need)
 		n, _, _, encErr := parcelport.EncodeHeader(buf, c.baseTag, c.msg, max, true)
 		if encErr != nil {
-			c.done = true
+			c.finishSenderLocked()
 			return false
 		}
 		// Medium sends are buffered: locally complete on return, no tracked
@@ -170,7 +187,7 @@ func (c *lconn) postHeaderLocked() bool {
 				pp.addRetry(c)
 				return false
 			}
-			c.done = true
+			c.finishSenderLocked()
 			return false
 		}
 	}
@@ -193,7 +210,7 @@ func (c *lconn) advanceSenderLocked() {
 					pp.addRetry(c)
 					return
 				}
-				c.done = true
+				c.finishSenderLocked()
 				return
 			}
 			c.segIdx++
@@ -206,7 +223,7 @@ func (c *lconn) advanceSenderLocked() {
 				pp.addRetry(c)
 				return
 			}
-			c.done = true
+			c.finishSenderLocked()
 			return
 		}
 		if reg != nil {
@@ -216,7 +233,7 @@ func (c *lconn) advanceSenderLocked() {
 		c.segIdx++
 	}
 	if c.segIdx >= len(c.segs) && !c.waiting {
-		c.done = true
+		c.finishSenderLocked()
 		pp.stats.sent.Add(1)
 		c.msg.Done()
 	}

@@ -54,6 +54,15 @@ const (
 
 func (c *connection) finished() bool { return c.done.Load() }
 
+// finishSender marks a sender connection done and returns its tag to the
+// allocator so it cannot be matched to a second live connection (improved
+// mode; Original recycles tags via receiver-driven tag-release messages).
+func (c *connection) finishSender() {
+	if c.done.CompareAndSwap(false, true) && !c.pp.cfg.Original {
+		c.pp.releaseTag(uint32(c.tag))
+	}
+}
+
 // --- sender ---
 
 // newSenderConnection builds the chain of MPI messages for one HPX message.
@@ -71,7 +80,7 @@ func newSenderConnection(pp *Parcelport, dst, tag int, m *serialization.Message)
 	if err != nil {
 		// Unreachable with a sane config; treat as an empty header so the
 		// connection finishes without wedging the pending list.
-		c.done.Store(true)
+		c.finishSender()
 		return c
 	}
 	if pp.cfg.Original {
@@ -107,7 +116,7 @@ func (c *connection) start() {
 	if c.kind == senderConn {
 		r, err := c.pp.comm.Isend(c.headerBuf, c.peer, headerTag)
 		if err != nil {
-			c.done.Store(true)
+			c.finishSender()
 			return
 		}
 		c.cur = r
@@ -150,14 +159,14 @@ func (c *connection) advanceSender() bool {
 		c.cur = nil
 		c.pp.stats.sent.Add(1)
 		c.msg.Done()
-		c.done.Store(true)
+		c.finishSender()
 		return false
 	}
 	seg := c.segs[c.segIdx]
 	c.segIdx++
 	r, err := c.pp.comm.Isend(seg, c.peer, c.tag)
 	if err != nil {
-		c.done.Store(true)
+		c.finishSender()
 		return false
 	}
 	c.cur = r

@@ -4,7 +4,7 @@
 // Transferring one HPX message uses a chain of MPI messages: a header
 // message on tag 0 (with the non-zero-copy and transmission chunks
 // piggybacked when they fit under the zero-copy serialization threshold),
-// then — on a connection-private tag from a shared atomic counter — the
+// then — on a connection-private tag from a shared allocator — the
 // transmission chunk, the non-zero-copy chunk and each zero-copy chunk, one
 // nonblocking operation in flight per connection at a time.
 //
@@ -66,7 +66,7 @@ type Parcelport struct {
 	comm    *mpisim.Comm
 	deliver parcelport.DeliverFunc
 
-	tags *parcelport.TagAllocator // improved mode: shared atomic counter
+	tags *parcelport.TagAllocator // improved mode: shared in-flight-tracking allocator
 	prov *tagProvider             // original mode: lock-protected free list
 
 	headerMu   sync.Mutex // guards the singleton header receive
@@ -311,13 +311,19 @@ func (pp *Parcelport) PendingConnections() int {
 
 // --- tag management ---
 
-// acquireTag returns a connection tag. Improved mode: shared atomic counter
-// with wraparound. Original mode: lock-protected tag provider.
+// acquireTag returns a connection tag. Improved mode: shared allocator that
+// skips tags still held by live connections. Original mode: lock-protected
+// tag provider.
 func (pp *Parcelport) acquireTag() uint32 {
 	if pp.cfg.Original {
 		return pp.prov.acquire()
 	}
 	return pp.tags.Next() + firstFreeTag - 1
+}
+
+// releaseTag returns an improved-mode connection tag to the allocator.
+func (pp *Parcelport) releaseTag(tag uint32) {
+	pp.tags.Release(tag-firstFreeTag+1, 1)
 }
 
 // sendTagRelease (Original mode) tells the sender a connection tag is free

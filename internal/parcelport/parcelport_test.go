@@ -123,12 +123,82 @@ func TestTagAllocatorWraparound(t *testing.T) {
 			t.Fatalf("tag %d out of range", tag)
 		}
 		seen[tag]++
+		a.Release(tag, 1) // connection completes before the space wraps
 	}
-	// 21 allocations over 7 tags: each value reused exactly 3 times.
+	// 21 allocations over 7 tags with prompt release: the cursor sweeps the
+	// ring three times and each value is reused exactly 3 times.
 	for tag, n := range seen {
 		if n != 3 {
 			t.Fatalf("tag %d allocated %d times", tag, n)
 		}
+	}
+	if a.InFlight() != 0 {
+		t.Fatalf("%d tags leaked", a.InFlight())
+	}
+}
+
+// TestTagAllocatorWraparoundCollision is the regression test for the
+// wraparound bug: the old atomic-counter allocator reissued a tag that was
+// still held by a live connection as soon as the counter wrapped. The fixed
+// allocator must skip in-flight tags and hand out the one released slot.
+func TestTagAllocatorWraparoundCollision(t *testing.T) {
+	a := NewTagAllocator(8) // tags in [1,8)
+	live := make(map[uint32]bool)
+	var tags []uint32
+	for i := 0; i < 7; i++ {
+		tag := a.Next()
+		if live[tag] {
+			t.Fatalf("tag %d reissued while in flight", tag)
+		}
+		live[tag] = true
+		tags = append(tags, tag)
+	}
+	// One connection in the middle completes; the other six stay live.
+	released := tags[3]
+	a.Release(released, 1)
+	delete(live, released)
+
+	// The old allocator returns tags[0] here (counter wrapped to the start),
+	// colliding with a live connection. The fixed one must return the single
+	// free tag.
+	got := a.Next()
+	if live[got] {
+		t.Fatalf("wraparound collision: tag %d reissued while in flight (old-allocator behaviour)", got)
+	}
+	if got != released {
+		t.Fatalf("Next() = %d, want the released tag %d", got, released)
+	}
+}
+
+func TestTagAllocatorExhaustionPanics(t *testing.T) {
+	a := NewTagAllocator(4) // tags in [1,4)
+	for i := 0; i < 3; i++ {
+		a.Next()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("allocating from an exhausted tag space must panic, not hand out a live tag")
+		}
+	}()
+	a.Next()
+}
+
+func TestTagAllocatorBlockSkipsFragmentation(t *testing.T) {
+	a := NewTagAllocator(8)
+	t1 := a.Next() // slot 0
+	t2 := a.Next() // slot 1
+	a.Release(t1, 1)
+	// Slot 0 is free but slot 1 is live: a 3-block must skip past it.
+	first := a.Block(3)
+	for k := 0; k < 3; k++ {
+		if tag := a.Nth(first, k); tag == t2 {
+			t.Fatalf("block member %d collides with live tag %d", k, t2)
+		}
+	}
+	a.Release(first, 3)
+	a.Release(t2, 1)
+	if a.InFlight() != 0 {
+		t.Fatalf("%d tags leaked", a.InFlight())
 	}
 }
 

@@ -99,6 +99,24 @@ func String(s string) []byte { return []byte(s) }
 // ToString decodes a String blob.
 func ToString(b []byte) string { return string(b) }
 
+// ChecksumSeed is the FNV-1a 32-bit offset basis, the starting value for
+// Checksum32Add chains.
+const ChecksumSeed uint32 = 2166136261
+
+// Checksum32 returns the FNV-1a hash of b: the integrity checksum the fabric
+// stamps on packet headers to detect payload corruption.
+func Checksum32(b []byte) uint32 { return Checksum32Add(ChecksumSeed, b) }
+
+// Checksum32Add folds b into a running Checksum32 value, so multi-segment
+// packets (metadata + payload) hash without concatenation.
+func Checksum32Add(h uint32, b []byte) uint32 {
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
 // SumF64Fold is the float64-sum fold for Runtime.Reduce: both blobs must be
 // single F64 results.
 func SumF64Fold(acc, partial [][]byte) [][]byte {
