@@ -2,20 +2,26 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench fuzz examples experiments clean
+.PHONY: all build vet fmt-check test race check bench bench-quick fuzz examples experiments clean
 
 all: build vet test
 
-# The full gate: build, vet, tests, and the race detector over the
-# concurrency-heavy packages (communication libraries, fabric ARQ,
+# The full gate: build, vet, formatting, tests, and the race detector over
+# the concurrency-heavy packages (communication libraries, fabric ARQ,
 # parcelports).
-check: build vet test race
+check: build vet fmt-check test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./... -timeout 900s
@@ -25,6 +31,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... -timeout 3600s
+
+# Quick A/B of the 64 B message-rate benchmark with the sender-side
+# aggregation layer off and on.
+bench-quick:
+	$(GO) run ./cmd/msgrate -config lci -size 64 -total 20000
+	$(GO) run ./cmd/msgrate -config lci -size 64 -total 20000 -agg
 
 fuzz:
 	$(GO) test ./internal/serialization/ -fuzz FuzzDecode -fuzztime 30s

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"hpxgo/internal/bench"
 	"hpxgo/internal/core"
@@ -30,11 +31,30 @@ func main() {
 	corrupt := flag.Float64("corrupt", 0, "fault injection: packet corruption probability")
 	spike := flag.Float64("spike", 0, "fault injection: latency spike probability")
 	seed := flag.Int64("faultseed", 1, "fault injection: RNG seed")
+	agg := flag.Bool("agg", false, "enable the sender-side aggregation layer")
+	aggsize := flag.Int("aggsize", 0, "aggregation flush size threshold in bytes (0 = default)")
+	aggdelay := flag.Duration("aggdelay", 0, "aggregation flush age deadline (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	params := bench.MsgRateParams{
 		Size: *size, Batch: *batch, Total: *total, Rate: *rate,
 		Workers: *workers, Fabric: bench.Expanse.Fabric(2),
+		Agg: *agg, AggSize: *aggsize, AggDelay: *aggdelay,
 	}
 	params.Fabric.Reliability = *reliable
 	if *drop != 0 || *dup != 0 || *corrupt != 0 || *spike != 0 {

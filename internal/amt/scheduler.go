@@ -67,12 +67,26 @@ type Scheduler struct {
 	spawned   atomic.Int64
 	completed atomic.Int64
 
+	// Parked task-runner goroutines, recycled between tasks (LIFO so the
+	// hottest stack is reused first). See Spawn.
+	runnerMu    sync.Mutex
+	idleRunners []chan func()
+
 	stopFlag  atomic.Bool
 	wg        sync.WaitGroup
 	dedicated []*dedicated
 	dedMu     sync.Mutex
 	started   atomic.Bool
 }
+
+// maxIdleRunners bounds the parked task-runner cache. Beyond this, finished
+// runners simply exit; a burst larger than the cache still runs every task
+// on its own (freshly spawned) goroutine. Sized to absorb a benchmark-scale
+// injection burst: the steady-state population tracks the largest task burst
+// seen, and a parked runner costs one small stack, so the worst case is a
+// few MB per locality. Too small a cache churns goroutines — every burst
+// beyond it pays a stack allocation per task again.
+const maxIdleRunners = 4096
 
 type dedicated struct {
 	name     string
@@ -120,15 +134,47 @@ func (s *Scheduler) Start() error {
 	return nil
 }
 
-// Spawn schedules a task. The task runs as its own goroutine and may block
-// on futures freely (it parks rather than occupying a worker, matching
-// HPX's suspendable threads).
+// Spawn schedules a task. The task owns a goroutine for its entire life and
+// may block on futures freely (it parks rather than occupying a worker,
+// matching HPX's suspendable threads). Goroutines are recycled through an
+// idle-runner cache between tasks, so a flood of small tasks — a bundle of
+// small parcels arriving at once — does not pay a fresh stack allocation per
+// task, mirroring HPX's thread-object reuse.
 func (s *Scheduler) Spawn(task func()) {
 	s.spawned.Add(1)
-	go func() {
-		defer s.completed.Add(1)
+	s.runnerMu.Lock()
+	if n := len(s.idleRunners); n > 0 {
+		rc := s.idleRunners[n-1]
+		s.idleRunners = s.idleRunners[:n-1]
+		s.runnerMu.Unlock()
+		rc <- task
+		return
+	}
+	s.runnerMu.Unlock()
+	go s.runTasks(task)
+}
+
+// runTasks executes task, then parks in the idle-runner cache waiting for
+// the next one, until the cache is full or the scheduler stops. The handoff
+// channel is buffered so a spawner that pops this runner never blocks even
+// if the runner has not reached its receive yet.
+func (s *Scheduler) runTasks(task func()) {
+	rc := make(chan func(), 1)
+	for {
 		task()
-	}()
+		s.completed.Add(1)
+		s.runnerMu.Lock()
+		if s.stopFlag.Load() || len(s.idleRunners) >= maxIdleRunners {
+			s.runnerMu.Unlock()
+			return
+		}
+		s.idleRunners = append(s.idleRunners, rc)
+		s.runnerMu.Unlock()
+		var ok bool
+		if task, ok = <-rc; !ok {
+			return
+		}
+	}
 }
 
 // Pending returns the number of spawned-but-unfinished tasks.
@@ -257,5 +303,15 @@ func (s *Scheduler) Stop() {
 	}
 	if s.started.Load() {
 		s.wg.Wait()
+	}
+	// Release parked task runners. stopFlag is already set, so any runner
+	// finishing a task after this drain sees it (under runnerMu) and exits
+	// instead of re-parking: no goroutine is left blocked forever.
+	s.runnerMu.Lock()
+	idle := s.idleRunners
+	s.idleRunners = nil
+	s.runnerMu.Unlock()
+	for _, rc := range idle {
+		close(rc)
 	}
 }

@@ -24,6 +24,13 @@ type MsgRateParams struct {
 	Timeout time.Duration
 	// LCIDevices replicates the LCI device per locality (§7.2 ablation).
 	LCIDevices int
+	// Agg enables the sender-side aggregation layer (also selectable via a
+	// trailing "_agg" on the configuration name).
+	Agg bool
+	// AggSize overrides the aggregation flush size threshold (bytes).
+	AggSize int
+	// AggDelay overrides the aggregation flush age deadline.
+	AggDelay time.Duration
 	// Inspect, when non-nil, runs against the live runtime after the
 	// measurement completes and before shutdown (profiling hooks).
 	Inspect func(rt *core.Runtime)
@@ -60,6 +67,9 @@ func MessageRate(ppName string, p MsgRateParams) (MsgRateResult, error) {
 		Parcelport:         ppName,
 		Fabric:             p.Fabric,
 		LCIDevices:         p.LCIDevices,
+		Aggregation:        p.Agg,
+		AggFlushBytes:      p.AggSize,
+		AggFlushDelay:      p.AggDelay,
 	})
 	if err != nil {
 		return MsgRateResult{}, err

@@ -48,6 +48,10 @@ func TestChaosExactlyOnceDelivery(t *testing.T) {
 		{"lci", 0.05},
 		{"mpi_i", 0.01},
 		{"mpi_i", 0.05},
+		// Aggregated variants: sub-parcels ride bundled fabric transfers, and
+		// the exactly-once guarantee must hold per sub-parcel, not per bundle.
+		{"lci_agg", 0.05},
+		{"mpi_i_agg", 0.05},
 	} {
 		tc := tc
 		t.Run(tc.pp+"/"+pct(tc.drop), func(t *testing.T) {
@@ -56,6 +60,10 @@ func TestChaosExactlyOnceDelivery(t *testing.T) {
 				WorkersPerLocality: 2,
 				Parcelport:         tc.pp,
 				Fabric:             chaosFabric(tc.drop, int64(len(tc.pp))+int64(tc.drop*100)),
+				// Keep bundles small so the run still produces enough distinct
+				// fabric transfers to provoke retransmissions (ignored unless
+				// the config enables aggregation).
+				AggMaxQueued: 8,
 			})
 			if err != nil {
 				t.Fatal(err)

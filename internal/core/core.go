@@ -59,6 +59,18 @@ type Config struct {
 	MaxConnections int
 	// MaxMessageBytes bounds one aggregated HPX message (0 = unlimited).
 	MaxMessageBytes int
+	// Aggregation enables the sender-side parcel aggregation layer (also
+	// selectable with a trailing "_agg" on the Parcelport name): small
+	// same-destination messages coalesce into one fabric transfer, flushed
+	// on size, age or backpressure.
+	Aggregation bool
+	// AggFlushBytes is the aggregation flush size threshold (default 4096).
+	AggFlushBytes int
+	// AggFlushDelay bounds how long a buffered message may wait (default 50µs).
+	AggFlushDelay time.Duration
+	// AggMaxQueued caps buffered sub-messages per destination; reaching it
+	// forces a flush. Default parcelport.MaxPendingConnections.
+	AggMaxQueued int
 	// Fabric configures the simulated interconnect (Nodes is overwritten
 	// with Localities). Zero value selects fabric.DefaultConfig.
 	Fabric fabric.Config
@@ -140,6 +152,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Aggregation {
+		ppCfg.Aggregate = true
+	}
 	net, err := fabric.NewNetwork(cfg.Fabric)
 	if err != nil {
 		return nil, err
@@ -209,12 +224,30 @@ func (rt *Runtime) buildLocality(i int) (*Locality, error) {
 	case parcelport.TransportTCP:
 		loc.pp = rt.tcpg.Parcelport(i)
 	}
+	if rt.ppCfg.Aggregate {
+		agg := parcelport.NewAggregator(loc.pp, rt.cfg.Localities, parcelport.AggConfig{
+			FlushBytes: rt.cfg.AggFlushBytes,
+			FlushDelay: rt.cfg.AggFlushDelay,
+			MaxQueued:  rt.cfg.AggMaxQueued,
+		})
+		if lpp, ok := loc.pp.(*lcipp.Parcelport); ok && rt.ppCfg.Progress == parcelport.PinnedProgress {
+			// In pin mode idle workers may all be busy with tasks, so the
+			// dedicated progress thread drives the age-based flush too.
+			lpp.SetProgressHook(agg.FlushStale)
+		}
+		loc.pp = agg
+	}
 	loc.layer = parcel.NewLayer(rt.cfg.Localities, parcel.Config{
 		ZeroCopyThreshold: rt.cfg.ZeroCopyThreshold,
 		MaxConnections:    rt.cfg.MaxConnections,
 		Immediate:         rt.ppCfg.Immediate,
 		MaxMessageBytes:   rt.cfg.MaxMessageBytes,
 	}, loc.pp.Send)
+	if agg, ok := loc.pp.(*parcelport.Aggregator); ok {
+		// Warm-path shortcut: encode small parcels straight into the bundle
+		// buffer instead of through a per-message scratch.
+		loc.layer.SetParcelSender(agg.SendParcel)
+	}
 	bg := loc.pp.BackgroundWork
 	if rt.cfg.DeliveryTimeout > 0 || rt.net.Config().Reliability {
 		// Fold the continuation reaper into background work so delivery
@@ -461,7 +494,7 @@ func (l *Locality) ApplyID(dst int, id uint32, args [][]byte) error {
 		return fmt.Errorf("core: apply to locality %d: %w", dst, ErrPeerUnreachable)
 	}
 	l.rt.tracer.Emit("parcel", "apply", int64(dst))
-	l.layer.Put(&serialization.Parcel{Source: l.id, Dest: dst, Action: id, Args: args})
+	l.layer.PutOne(serialization.Parcel{Source: l.id, Dest: dst, Action: id, Args: args})
 	return nil
 }
 
@@ -510,7 +543,7 @@ func (l *Locality) callID(dst int, id uint32, args [][]byte, f *amt.Future[[][]b
 	l.contMu.Lock()
 	l.conts[cid] = contEntry{f: f, dst: dst, deadlineNs: deadline}
 	l.contMu.Unlock()
-	l.layer.Put(&serialization.Parcel{Source: l.id, Dest: dst, Action: id, ContID: cid, Args: args})
+	l.layer.PutOne(serialization.Parcel{Source: l.id, Dest: dst, Action: id, ContID: cid, Args: args})
 	return f
 }
 

@@ -22,7 +22,15 @@ func (rt *Runtime) StatsText() string {
 		ls := loc.layer.Stats()
 		fmt.Fprintf(&b, "  parcels sent %d in %d messages (%d aggregated, %d cache-exhausted), actions run %d\n",
 			ls.ParcelsSent, ls.MessagesSent, ls.AggregatedSends, ls.CacheExhausted, loc.ParcelsExecuted())
-		switch pp := loc.pp.(type) {
+		pport := loc.pp
+		if agg, ok := pport.(*parcelport.Aggregator); ok {
+			as := agg.Stats()
+			fmt.Fprintf(&b, "  aggregation: %d msgs in %d bundles (+%d direct, %d cold), flushes %d size / %d age / %d cap / %d order, %d unbundled\n",
+				as.BundledMessages, as.Bundles, as.DirectSends, as.ColdSends,
+				as.SizeFlushes, as.AgeFlushes, as.CapFlushes, as.OrderFlushes, as.Unbundled)
+			pport = agg.Inner()
+		}
+		switch pp := pport.(type) {
 		case *mpipp.Parcelport:
 			ps := pp.Stats()
 			fmt.Fprintf(&b, "  mpi parcelport: %d msgs sent / %d recvd, piggybacked %d nzc / %d trans, pending conns %d\n",

@@ -57,9 +57,10 @@ type Stats struct {
 
 // Layer is the per-locality parcel sending layer.
 type Layer struct {
-	cfg   Config
-	sendf func(dst int, m *serialization.Message)
-	dests []*destState
+	cfg        Config
+	sendf      func(dst int, m *serialization.Message)
+	sendParcel func(dst int, p serialization.Parcel) bool
+	dests      []*destState
 
 	parcelsSent      atomic.Uint64
 	messagesSent     atomic.Uint64
@@ -92,6 +93,16 @@ func NewLayer(numDest int, cfg Config, send func(dst int, m *serialization.Messa
 
 // ZeroCopyThreshold returns the configured threshold.
 func (l *Layer) ZeroCopyThreshold() int { return l.cfg.ZeroCopyThreshold }
+
+// SetParcelSender installs a direct parcel-send hook consulted by the
+// send-immediate path before serializing. When the hook accepts the parcel
+// (returns true) the layer skips the per-message encode entirely — the
+// aggregation layer encodes it straight into its bundle buffer. Install
+// before traffic flows; the hook never sees parcels whose arguments reach
+// the zero-copy threshold.
+func (l *Layer) SetParcelSender(fn func(dst int, p serialization.Parcel) bool) {
+	l.sendParcel = fn
+}
 
 // Stats returns a snapshot of the layer counters.
 func (l *Layer) Stats() Stats {
@@ -127,11 +138,7 @@ func (l *Layer) DiscardDest(dst int) int {
 func (l *Layer) Put(p *serialization.Parcel) {
 	l.parcelsSent.Add(1)
 	if l.cfg.Immediate {
-		// Send-immediate: serialize directly, bypassing the parcel queue and
-		// the connection cache.
-		m := serialization.Encode([]*serialization.Parcel{p}, l.cfg.ZeroCopyThreshold)
-		l.messagesSent.Add(1)
-		l.sendf(p.Dest, m)
+		l.putImmediate(p)
 		return
 	}
 	d := l.dests[p.Dest]
@@ -139,6 +146,45 @@ func (l *Layer) Put(p *serialization.Parcel) {
 	d.queue = append(d.queue, p)
 	d.queueMu.Unlock()
 	l.drain(p.Dest)
+}
+
+// PutOne hands a single parcel to the sending machinery by value. On the
+// send-immediate path the encode reads the parcel and never retains it, so
+// the copy stays on the caller's stack instead of costing a heap allocation
+// per message.
+func (l *Layer) PutOne(p serialization.Parcel) {
+	if l.cfg.Immediate {
+		l.parcelsSent.Add(1)
+		if sp := l.sendParcel; sp != nil && l.allArgsInline(&p) && sp(p.Dest, p) {
+			l.messagesSent.Add(1)
+			return
+		}
+		l.putImmediate(&p)
+		return
+	}
+	q := p
+	l.Put(&q)
+}
+
+// allArgsInline reports whether p's encoding carries no zero-copy chunks,
+// i.e. every argument stays below the zero-copy threshold.
+func (l *Layer) allArgsInline(p *serialization.Parcel) bool {
+	for _, a := range p.Args {
+		if len(a) >= l.cfg.ZeroCopyThreshold {
+			return false
+		}
+	}
+	return true
+}
+
+// putImmediate serializes p directly, bypassing the parcel queue and the
+// connection cache. The layer owns the encode scratch, so it has the
+// parcelport return it to the pool once the transfer locally completes.
+func (l *Layer) putImmediate(p *serialization.Parcel) {
+	m := serialization.EncodeOne(p, l.cfg.ZeroCopyThreshold)
+	m.RecycleOnSent = true
+	l.messagesSent.Add(1)
+	l.sendf(p.Dest, m)
 }
 
 // drain moves queued parcels for dst into one message, if a connection is
@@ -184,6 +230,7 @@ func (l *Layer) drain(dst int) {
 		l.aggregatedSends.Add(1)
 	}
 	m.OnSent = func() {
+		m.Recycle()
 		l.releaseConn(d)
 		// Parcels may have queued while the connection was busy.
 		d.queueMu.Lock()

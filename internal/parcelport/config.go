@@ -69,6 +69,10 @@ type Config struct {
 	// 512-byte header buffers that can only piggyback the non-zero-copy
 	// chunk, and a lock-protected tag provider with tag-release messages.
 	Original bool
+	// Aggregate enables the sender-side aggregation layer ("_agg"): small
+	// same-destination messages coalesce into one fabric transfer. Not part
+	// of Table 1; available on every transport.
+	Aggregate bool
 }
 
 // DefaultLCI returns the baseline LCI parcelport configuration the paper
@@ -115,15 +119,21 @@ func (c Config) String() string {
 	if c.Immediate {
 		parts = append(parts, "i")
 	}
+	if c.Aggregate {
+		parts = append(parts, "agg")
+	}
 	return strings.Join(parts, "_")
 }
 
 // ParseConfig parses a Table 1 abbreviation. Accepted forms:
 //
-//	mpi[_orig][_i]
-//	tcp[_i]
-//	lci                       (alias for the baseline lci_psr_cq_pin_i)
-//	lci_{sr|psr}_{cq|sy}_{pin|rp|mt}[_i]
+//	mpi[_orig][_i][_agg]
+//	tcp[_i][_agg]
+//	lci[_i][_agg]             (aliases for the baseline lci_psr_cq_pin_i)
+//	lci_{sr|psr}_{cq|sy}_{pin|rp|mt}[_i][_agg]
+//
+// The trailing "agg" option (not in Table 1) enables the sender-side
+// aggregation layer on any transport.
 func ParseConfig(name string) (Config, error) {
 	parts := strings.Split(strings.ToLower(strings.TrimSpace(name)), "_")
 	if len(parts) == 0 || parts[0] == "" {
@@ -134,9 +144,12 @@ func ParseConfig(name string) (Config, error) {
 	case "tcp":
 		c.Transport = TransportTCP
 		for _, p := range parts[1:] {
-			if p == "i" {
+			switch p {
+			case "i":
 				c.Immediate = true
-			} else {
+			case "agg":
+				c.Aggregate = true
+			default:
 				return Config{}, fmt.Errorf("parcelport: unknown tcp option %q in %q", p, name)
 			}
 		}
@@ -150,6 +163,8 @@ func ParseConfig(name string) (Config, error) {
 				c.Immediate = true
 			case "orig":
 				c.Original = true
+			case "agg":
+				c.Aggregate = true
 			default:
 				return Config{}, fmt.Errorf("parcelport: unknown mpi option %q in %q", p, name)
 			}
@@ -160,6 +175,22 @@ func ParseConfig(name string) (Config, error) {
 		rest := parts[1:]
 		if len(rest) == 0 {
 			return DefaultLCI(), nil
+		}
+		if rest[0] == "i" || rest[0] == "agg" {
+			// Trailing-option shorthand on the baseline alias: lci_i,
+			// lci_agg, lci_i_agg.
+			c = DefaultLCI()
+			for _, p := range rest {
+				switch p {
+				case "i":
+					c.Immediate = true
+				case "agg":
+					c.Aggregate = true
+				default:
+					return Config{}, fmt.Errorf("parcelport: unknown lci option %q in %q", p, name)
+				}
+			}
+			return c, nil
 		}
 		if len(rest) < 3 {
 			return Config{}, fmt.Errorf("parcelport: lci configuration %q needs protocol, completion and progress", name)
@@ -189,9 +220,12 @@ func ParseConfig(name string) (Config, error) {
 			return Config{}, fmt.Errorf("parcelport: unknown progress mode %q in %q", rest[2], name)
 		}
 		for _, p := range rest[3:] {
-			if p == "i" {
+			switch p {
+			case "i":
 				c.Immediate = true
-			} else {
+			case "agg":
+				c.Aggregate = true
+			default:
 				return Config{}, fmt.Errorf("parcelport: unknown lci option %q in %q", p, name)
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"hpxgo/internal/lci"
 	"hpxgo/internal/parcelport"
 	"hpxgo/internal/serialization"
+	"hpxgo/internal/wire"
 )
 
 // lconn is the per-HPX-message connection of the LCI parcelport. Unlike the
@@ -174,15 +175,20 @@ func (c *lconn) postHeaderLocked() bool {
 		}
 	case parcelport.SendRecv:
 		need, _, _ := parcelport.PlanHeader(len(c.msg.NonZeroCopy), len(c.msg.Transmission), max, true)
-		buf := make([]byte, need)
+		buf := wire.GetBuf(need)
 		n, _, _, encErr := parcelport.EncodeHeader(buf, c.baseTag, c.msg, max, true)
 		if encErr != nil {
+			wire.PutBuf(buf)
 			c.finishSenderLocked()
 			return false
 		}
-		// Medium sends are buffered: locally complete on return, no tracked
-		// completion needed.
-		if err := c.dev.Sendm(c.peer, headerMsgTag, buf[:n], nil, nil); err != nil {
+		// Medium sends are buffered: locally complete on return (the fabric
+		// copies the payload), so the pooled header buffer can go straight
+		// back — including on error, where it was never handed off. A retry
+		// re-encodes into a fresh buffer.
+		err := c.dev.Sendm(c.peer, headerMsgTag, buf[:n], nil, nil)
+		wire.PutBuf(buf)
+		if err != nil {
 			if isRetry(err) {
 				pp.addRetry(c)
 				return false

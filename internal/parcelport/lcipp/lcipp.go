@@ -94,6 +94,12 @@ type Parcelport struct {
 	hdrMu   sync.Mutex
 	hdrBufs [][]byte
 
+	// progressHook, when set, runs alongside the LCI progress engine on the
+	// dedicated progress thread(s) in pin mode (e.g. the aggregation
+	// layer's age-based flush, which must not starve while every worker is
+	// busy with tasks).
+	progressHook func() bool
+
 	stopProgress func()
 	stopped      atomic.Bool
 
@@ -187,6 +193,11 @@ func (pp *Parcelport) Stats() Stats {
 	}
 }
 
+// SetProgressHook installs fn to be driven by the dedicated progress
+// thread(s) in pin mode, alongside the LCI progress engine. Must be called
+// before Start; no-op in mt mode (idle workers drive background work there).
+func (pp *Parcelport) SetProgressHook(fn func() bool) { pp.progressHook = fn }
+
 // Start installs the delivery callback, posts the header receive (sendrecv
 // protocol) and launches the dedicated progress thread (pin mode).
 func (pp *Parcelport) Start(deliver parcelport.DeliverFunc) error {
@@ -211,7 +222,18 @@ func (pp *Parcelport) Start(deliver parcelport.DeliverFunc) error {
 		// network resources need replicated progress).
 		stops := make([]func(), len(pp.devs))
 		for i, d := range pp.devs {
-			stops[i] = pp.sched.StartDedicated(fmt.Sprintf("lci-progress-%d", i), false, d.Progress)
+			work := d.Progress
+			if hook := pp.progressHook; hook != nil {
+				progress := d.Progress
+				work = func() bool {
+					did := progress()
+					if hook() {
+						did = true
+					}
+					return did
+				}
+			}
+			stops[i] = pp.sched.StartDedicated(fmt.Sprintf("lci-progress-%d", i), false, work)
 		}
 		pp.stopProgress = func() {
 			for _, stop := range stops {

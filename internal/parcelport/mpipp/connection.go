@@ -6,6 +6,7 @@ import (
 	"hpxgo/internal/mpisim"
 	"hpxgo/internal/parcelport"
 	"hpxgo/internal/serialization"
+	"hpxgo/internal/wire"
 )
 
 // connKind distinguishes sender from receiver connections.
@@ -54,12 +55,22 @@ const (
 
 func (c *connection) finished() bool { return c.done.Load() }
 
-// finishSender marks a sender connection done and returns its tag to the
+// finishSender marks a sender connection done, returns its tag to the
 // allocator so it cannot be matched to a second live connection (improved
-// mode; Original recycles tags via receiver-driven tag-release messages).
+// mode; Original recycles tags via receiver-driven tag-release messages),
+// and recycles the pooled header buffer. Safe here: the header Isend either
+// completed (every operation Tests complete before the next is posted and
+// before the connection finishes) or was never posted.
 func (c *connection) finishSender() {
-	if c.done.CompareAndSwap(false, true) && !c.pp.cfg.Original {
+	if !c.done.CompareAndSwap(false, true) {
+		return
+	}
+	if !c.pp.cfg.Original {
 		c.pp.releaseTag(uint32(c.tag))
+	}
+	if c.headerBuf != nil {
+		wire.PutBuf(c.headerBuf)
+		c.headerBuf = nil
 	}
 }
 
@@ -75,7 +86,7 @@ func newSenderConnection(pp *Parcelport, dst, tag int, m *serialization.Message)
 	if pp.cfg.Original && need < originalHeaderSize {
 		need = originalHeaderSize
 	}
-	buf := make([]byte, need)
+	buf := wire.GetBuf(need)
 	n, piggyNZC, piggyTrans, err := parcelport.EncodeHeader(buf, uint32(tag), m, max, !pp.cfg.Original)
 	if err != nil {
 		// Unreachable with a sane config; treat as an empty header so the
@@ -85,7 +96,9 @@ func newSenderConnection(pp *Parcelport, dst, tag int, m *serialization.Message)
 	}
 	if pp.cfg.Original {
 		// The original parcelport always transmits the full fixed-size
-		// header buffer.
+		// header buffer; zero the tail so recycled pool bytes never reach
+		// the wire.
+		clear(buf[n:originalHeaderSize])
 		c.headerBuf = buf[:originalHeaderSize]
 	} else {
 		c.headerBuf = buf[:n]

@@ -15,6 +15,8 @@ func TestParseConfigRoundTrip(t *testing.T) {
 		"lci_psr_sy_pin_i", "lci_psr_sy_mt_i",
 		"lci_sr_cq_pin_i", "lci_sr_cq_mt_i",
 		"lci_sr_sy_pin_i", "lci_sr_sy_mt_i",
+		"mpi_agg", "mpi_i_agg", "mpi_orig_i_agg", "tcp_agg", "tcp_i_agg",
+		"lci_psr_cq_pin_agg", "lci_psr_cq_pin_i_agg", "lci_sr_sy_mt_i_agg",
 	}
 	for _, n := range names {
 		c, err := ParseConfig(n)
@@ -50,12 +52,28 @@ func TestParseConfigAliases(t *testing.T) {
 	if _, err := ParseConfig("  MPI_I "); err != nil {
 		t.Fatalf("case-insensitive parse failed: %v", err)
 	}
+	// Trailing-option shorthand on the baseline alias.
+	agg, err := ParseConfig("lci_agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultLCI()
+	want.Aggregate = true
+	if agg != want {
+		t.Fatalf("lci_agg alias = %+v", agg)
+	}
+	if agg.String() != "lci_psr_cq_pin_i_agg" {
+		t.Fatalf("lci_agg renders as %q", agg.String())
+	}
+	if both, err := ParseConfig("lci_i_agg"); err != nil || both != want {
+		t.Fatalf("lci_i_agg alias = %+v (%v)", both, err)
+	}
 }
 
 func TestParseConfigErrors(t *testing.T) {
 	for _, bad := range []string{
 		"", "smoke", "mpi_x", "tcp_x", "lci_psr", "lci_xx_cq_pin", "lci_psr_xx_pin",
-		"lci_psr_cq_xx", "lci_psr_cq_pin_z",
+		"lci_psr_cq_xx", "lci_psr_cq_pin_z", "lci_aggg", "lci_agg_x", "mpi_agg_x",
 	} {
 		if _, err := ParseConfig(bad); err == nil {
 			t.Fatalf("ParseConfig(%q) should fail", bad)
@@ -197,6 +215,79 @@ func TestTagAllocatorBlockSkipsFragmentation(t *testing.T) {
 	}
 	a.Release(first, 3)
 	a.Release(t2, 1)
+	if a.InFlight() != 0 {
+		t.Fatalf("%d tags leaked", a.InFlight())
+	}
+}
+
+// TestTagAllocatorBlockWraparound: a block starting near bound-1 must wrap
+// cleanly — members stay in [1, bound), remain distinct, span the boundary,
+// and Release of the wrapped block frees every slot it reserved.
+func TestTagAllocatorBlockWraparound(t *testing.T) {
+	a := NewTagAllocator(9) // 8 slots, tags in [1,9)
+	// Advance the cursor to slot 6 so a 4-block must wrap past the bound.
+	for i := 0; i < 6; i++ {
+		a.Release(a.Next(), 1)
+	}
+	first := a.Block(4) // slots 6,7,0,1
+	if first != 7 {
+		t.Fatalf("block first tag = %d, want 7 (slot 6)", first)
+	}
+	seen := map[uint32]bool{}
+	for k := 0; k < 4; k++ {
+		tag := a.Nth(first, k)
+		if tag == 0 || tag >= 9 {
+			t.Fatalf("wrapped block member %d = %d out of [1,9)", k, tag)
+		}
+		if seen[tag] {
+			t.Fatalf("wrapped block member %d = %d duplicated", k, tag)
+		}
+		seen[tag] = true
+	}
+	if !seen[8] || !seen[1] {
+		t.Fatalf("block %v does not span the wraparound boundary", seen)
+	}
+	if a.InFlight() != 4 {
+		t.Fatalf("InFlight = %d, want 4", a.InFlight())
+	}
+	// A follow-up allocation must not collide with the wrapped block.
+	next := a.Next()
+	if seen[next] {
+		t.Fatalf("Next() = %d collides with the wrapped block", next)
+	}
+	// Release must clear the same wrapped slots Block reserved.
+	a.Release(first, 4)
+	if a.InFlight() != 1 {
+		t.Fatalf("InFlight after wrapped release = %d, want 1", a.InFlight())
+	}
+	a.Release(next, 1)
+	if a.InFlight() != 0 {
+		t.Fatalf("%d tags leaked", a.InFlight())
+	}
+}
+
+// TestTagAllocatorBlockWraparoundSkipsLiveTag: a run that would wrap onto a
+// live tag on the far side of the boundary must be skipped, not split or
+// collided with.
+func TestTagAllocatorBlockWraparoundSkipsLiveTag(t *testing.T) {
+	a := NewTagAllocator(9) // 8 slots, tags in [1,9)
+	live := a.Next()        // slot 0, tag 1
+	for i := 0; i < 5; i++ {
+		a.Release(a.Next(), 1)
+	}
+	// Cursor sits at slot 6: the natural run 6,7,0 crosses the boundary into
+	// the live tag and must be rejected.
+	first := a.Block(3)
+	for k := 0; k < 3; k++ {
+		if a.Nth(first, k) == live {
+			t.Fatalf("wrapped block member %d collides with live tag %d", k, live)
+		}
+	}
+	if a.InFlight() != 4 {
+		t.Fatalf("InFlight = %d, want 4", a.InFlight())
+	}
+	a.Release(first, 3)
+	a.Release(live, 1)
 	if a.InFlight() != 0 {
 		t.Fatalf("%d tags leaked", a.InFlight())
 	}

@@ -18,6 +18,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"hpxgo/internal/wire"
 )
 
 // DefaultZeroCopyThreshold is HPX's default zero-copy serialization
@@ -44,14 +46,36 @@ type Message struct {
 	// fully transferred and its buffers may be reused (the upper layer uses
 	// it to return connections to the connection cache).
 	OnSent func()
+
+	// RecycleOnSent makes Done recycle the encode scratch after OnSent
+	// fires. It expresses the common "recycle and nothing else" completion
+	// without the owner allocating a closure per message for it.
+	RecycleOnSent bool
 }
 
-// Done invokes OnSent exactly once (nil-safe).
+// Done invokes OnSent exactly once (nil-safe), then recycles the encode
+// scratch if the owner requested it via RecycleOnSent.
 func (m *Message) Done() {
 	if m.OnSent != nil {
 		f := m.OnSent
 		m.OnSent = nil
 		f()
+	}
+	if m.RecycleOnSent {
+		m.RecycleOnSent = false
+		m.Recycle()
+	}
+}
+
+// Recycle returns the pooled encode scratch backing NonZeroCopy to the
+// shared buffer pool and nils the field. Only the owner of the message may
+// call it, after the transfer locally completed (Done) and nothing aliases
+// the chunk anymore — never on received or decoded messages, whose parcels
+// alias NonZeroCopy. Idempotent.
+func (m *Message) Recycle() {
+	if m.NonZeroCopy != nil {
+		wire.PutBuf(m.NonZeroCopy)
+		m.NonZeroCopy = nil
 	}
 }
 
@@ -74,48 +98,122 @@ const (
 // Encode serializes parcels into a Message. Arguments of at least
 // zcThreshold bytes become zero-copy chunks (their backing slices are
 // aliased, not copied). zcThreshold <= 0 selects the default.
+//
+// The non-zero-copy chunk is drawn from the shared buffer pool; the owner
+// may return it with Message.Recycle once the transfer locally completed.
 func Encode(parcels []*Parcel, zcThreshold int) *Message {
 	if zcThreshold <= 0 {
 		zcThreshold = DefaultZeroCopyThreshold
 	}
 	m := &Message{}
-	var nzc buffer
+	// Exact-size the scratch so the appends below never grow it (a grown
+	// slice would silently abandon the pooled buffer).
+	nzc := buffer{bytes: wire.GetBuf(encodedSize(parcels, zcThreshold))[:0]}
 	nzc.u32(messageMagic)
 	nzc.u32(uint32(len(parcels)))
-	type zcRef struct {
-		length uint64
-	}
-	var zcs []zcRef
 	for _, p := range parcels {
-		nzc.u32(p.Action)
-		nzc.u32(uint32(int32(p.Source)))
-		nzc.u32(uint32(int32(p.Dest)))
-		nzc.u64(p.ContID)
-		nzc.u32(uint32(len(p.Args)))
-		for _, a := range p.Args {
-			if len(a) >= zcThreshold {
-				nzc.b(argZeroCopy)
-				nzc.u32(uint32(len(m.ZeroCopy)))
-				m.ZeroCopy = append(m.ZeroCopy, a)
-				zcs = append(zcs, zcRef{length: uint64(len(a))})
-			} else {
-				nzc.b(argInline)
-				nzc.u32(uint32(len(a)))
-				nzc.raw(a)
-			}
-		}
+		encodeParcel(m, &nzc, p, zcThreshold)
 	}
 	m.NonZeroCopy = nzc.bytes
-	if len(zcs) > 0 {
-		var tc buffer
-		tc.u32(uint32(len(zcs)))
-		for i, z := range zcs {
-			tc.u32(uint32(i))
-			tc.u64(z.length)
-		}
-		m.Transmission = tc.bytes
-	}
+	m.buildTransmission()
 	return m
+}
+
+// EncodeOne is Encode for a single parcel, the send-immediate fast path; it
+// avoids materializing a one-element slice.
+func EncodeOne(p *Parcel, zcThreshold int) *Message {
+	if zcThreshold <= 0 {
+		zcThreshold = DefaultZeroCopyThreshold
+	}
+	m := &Message{}
+	nzc := buffer{bytes: wire.GetBuf(8 + parcelEncodedSize(p, zcThreshold))[:0]}
+	nzc.u32(messageMagic)
+	nzc.u32(1)
+	encodeParcel(m, &nzc, p, zcThreshold)
+	m.NonZeroCopy = nzc.bytes
+	m.buildTransmission()
+	return m
+}
+
+// inlineAll is a zero-copy threshold no argument reaches: it forces every
+// argument inline for the direct-encode helpers below.
+const inlineAll = 1 << 62
+
+// EncodedSizeInline returns the wire size of the single-parcel message
+// encoding of p with every argument inline (no zero-copy chunks).
+func EncodedSizeInline(p *Parcel) int { return 8 + parcelEncodedSize(p, inlineAll) }
+
+// AppendEncodeInline appends the single-parcel message encoding of p to dst
+// (every argument inline) and returns the extended slice. It is the
+// scratch-free variant of EncodeOne for callers that own a destination
+// buffer — the aggregation layer encodes parcels straight into its bundle.
+// The caller guarantees capacity for EncodedSizeInline(p) bytes (an append
+// must not abandon a pooled backing array) and that no argument was meant to
+// travel zero-copy.
+func AppendEncodeInline(dst []byte, p *Parcel) []byte {
+	nzc := buffer{bytes: dst}
+	nzc.u32(messageMagic)
+	nzc.u32(1)
+	var m Message
+	encodeParcel(&m, &nzc, p, inlineAll)
+	return nzc.bytes
+}
+
+// encodedSize returns the exact non-zero-copy chunk size Encode produces.
+func encodedSize(parcels []*Parcel, zcThreshold int) int {
+	n := 8 // magic + parcel count
+	for _, p := range parcels {
+		n += parcelEncodedSize(p, zcThreshold)
+	}
+	return n
+}
+
+// parcelEncodedSize is one parcel's exact non-zero-copy footprint.
+func parcelEncodedSize(p *Parcel, zcThreshold int) int {
+	n := 24 // action, source, dest, continuation id, arg count
+	for _, a := range p.Args {
+		n += 5 // kind byte + length/index
+		if len(a) < zcThreshold {
+			n += len(a)
+		}
+	}
+	return n
+}
+
+// encodeParcel appends one parcel to the non-zero-copy chunk, registering
+// zero-copy arguments on m.
+func encodeParcel(m *Message, nzc *buffer, p *Parcel, zcThreshold int) {
+	nzc.u32(p.Action)
+	nzc.u32(uint32(int32(p.Source)))
+	nzc.u32(uint32(int32(p.Dest)))
+	nzc.u64(p.ContID)
+	nzc.u32(uint32(len(p.Args)))
+	for _, a := range p.Args {
+		if len(a) >= zcThreshold {
+			nzc.b(argZeroCopy)
+			nzc.u32(uint32(len(m.ZeroCopy)))
+			m.ZeroCopy = append(m.ZeroCopy, a)
+		} else {
+			nzc.b(argInline)
+			nzc.u32(uint32(len(a)))
+			nzc.raw(a)
+		}
+	}
+}
+
+// buildTransmission fills in the transmission chunk from the registered
+// zero-copy chunks (nil when there are none).
+func (m *Message) buildTransmission() {
+	if len(m.ZeroCopy) == 0 {
+		return
+	}
+	var tc buffer
+	tc.u32(uint32(len(m.ZeroCopy)))
+	for i, zc := range m.ZeroCopy {
+		tc.u32(uint32(i))
+		tc.u64(uint64(len(zc)))
+	}
+	m.Transmission = tc.bytes
 }
 
 // Errors returned by Decode.

@@ -244,3 +244,40 @@ func TestInlineArgQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAppendEncodeInline pins the direct-encode helper against EncodeOne:
+// identical bytes, exact size accounting, and append-in-place semantics.
+func TestAppendEncodeInline(t *testing.T) {
+	parcels := []*Parcel{
+		{Source: 1, Dest: 2, Action: 3, Args: [][]byte{[]byte("hello"), nil}},
+		{Source: -1, Dest: 0, Action: 0xffffffff, ContID: 1 << 40},
+		{Args: [][]byte{make([]byte, 300)}},
+	}
+	for i, p := range parcels {
+		ref := EncodeOne(p, 1<<30) // threshold above every arg: all inline
+		need := EncodedSizeInline(p)
+		if need != len(ref.NonZeroCopy) {
+			t.Fatalf("parcel %d: EncodedSizeInline = %d, EncodeOne produced %d bytes",
+				i, need, len(ref.NonZeroCopy))
+		}
+		prefix := []byte{0xaa, 0xbb}
+		got := AppendEncodeInline(append([]byte(nil), prefix...), p)
+		if len(got) != len(prefix)+need {
+			t.Fatalf("parcel %d: appended %d bytes, want %d", i, len(got)-len(prefix), need)
+		}
+		if !bytes.Equal(got[len(prefix):], ref.NonZeroCopy) {
+			t.Fatalf("parcel %d: direct encoding differs from EncodeOne", i)
+		}
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatalf("parcel %d: prefix clobbered", i)
+		}
+		decoded, err := Decode(&Message{NonZeroCopy: got[len(prefix):]})
+		if err != nil || len(decoded) != 1 {
+			t.Fatalf("parcel %d: decode: %v (%d parcels)", i, err, len(decoded))
+		}
+		if decoded[0].Action != p.Action || decoded[0].ContID != p.ContID {
+			t.Fatalf("parcel %d: round trip %+v != %+v", i, decoded[0], p)
+		}
+		ref.Recycle()
+	}
+}

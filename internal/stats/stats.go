@@ -72,8 +72,11 @@ func Median(xs []float64) float64 {
 	return (ys[n/2-1] + ys[n/2]) / 2
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
-// nearest-rank interpolation. Returns 0 for an empty slice.
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between the two nearest ranks (the C = 1 variant, as in
+// numpy's default): p maps to the fractional rank p/100*(n-1) and the value
+// interpolates between the sorted neighbours. p <= 0 yields the minimum,
+// p >= 100 the maximum. Returns 0 for an empty slice.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0

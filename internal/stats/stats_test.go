@@ -128,3 +128,33 @@ func TestPercentile(t *testing.T) {
 		t.Fatal("Percentile sorted the caller's slice")
 	}
 }
+
+// TestPercentileBoundaries pins the linear-interpolation contract at its
+// edges: p=0/p=100 return min/max (including out-of-range p), a 2-element
+// slice interpolates linearly across the whole range, and a singleton is
+// constant in p.
+func TestPercentileBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"p0 is min", []float64{9, 1, 5}, 0, 1},
+		{"p100 is max", []float64{9, 1, 5}, 100, 9},
+		{"negative p clamps to min", []float64{9, 1, 5}, -10, 1},
+		{"p over 100 clamps to max", []float64{9, 1, 5}, 250, 9},
+		{"two elements p0", []float64{10, 20}, 0, 10},
+		{"two elements p25", []float64{10, 20}, 25, 12.5},
+		{"two elements p50", []float64{10, 20}, 50, 15},
+		{"two elements p75", []float64{10, 20}, 75, 17.5},
+		{"two elements p100", []float64{10, 20}, 100, 20},
+		{"singleton p0", []float64{7}, 0, 7},
+		{"singleton p50", []float64{7}, 50, 7},
+		{"singleton p100", []float64{7}, 100, 7},
+	} {
+		if got := Percentile(tc.xs, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v, %g) = %g, want %g", tc.name, tc.xs, tc.p, got, tc.want)
+		}
+	}
+}

@@ -7,7 +7,6 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,14 +71,21 @@ func (t *Tracer) Total() uint64 {
 	return t.total
 }
 
-// Dump returns the retained events in chronological order.
+// Dump returns the retained events in emission order. The order is
+// reconstructed from the ring structure itself — `next` marks the oldest
+// retained slot once the ring has wrapped — rather than by re-sorting on
+// timestamps, which would shuffle same-timestamp events (the clock is much
+// coarser than the emit rate) under a non-stable sort.
 func (t *Tracer) Dump() []Event {
 	t.mu.Lock()
-	out := make([]Event, len(t.ring))
-	copy(out, t.ring)
-	t.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
-	return out
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		// Not yet wrapped: the ring is already chronological.
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
 }
 
 // String renders the retained events, one per line.

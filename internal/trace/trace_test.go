@@ -58,6 +58,46 @@ func TestRingOverwritesOldest(t *testing.T) {
 	}
 }
 
+// TestDumpWraparoundEmissionOrder is the regression test for the Dump
+// re-sort bug: the old implementation sorted the ring copy by At with a
+// non-stable sort, so events sharing a timestamp (the clock is far coarser
+// than the emit rate) could come back out of emission order. Dump must
+// reconstruct order from the ring cursor instead — equal timestamps are
+// forced here to make any sort-based shuffle observable.
+func TestDumpWraparoundEmissionOrder(t *testing.T) {
+	tr := New(4)
+	tr.Enable(true)
+	for i := 0; i < 6; i++ { // wraps: args 2..5 retained, oldest at next
+		tr.Emit("c", "e", int64(i))
+	}
+	// Collapse all timestamps so ordering cannot come from At.
+	tr.mu.Lock()
+	for i := range tr.ring {
+		tr.ring[i].At = 12345
+	}
+	tr.mu.Unlock()
+	evs := tr.Dump()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(i + 2); e.Arg != want {
+			t.Fatalf("event %d has arg %d, want %d (emission order lost)", i, e.Arg, want)
+		}
+	}
+	// Partially filled rings must come back in emission order too.
+	part := New(8)
+	part.Enable(true)
+	for i := 0; i < 3; i++ {
+		part.Emit("c", "e", int64(i))
+	}
+	for i, e := range part.Dump() {
+		if e.Arg != int64(i) {
+			t.Fatalf("partial ring event %d has arg %d", i, e.Arg)
+		}
+	}
+}
+
 func TestStringRender(t *testing.T) {
 	tr := New(4)
 	tr.Enable(true)

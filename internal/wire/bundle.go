@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Bundle framing: the sub-message codec of the sender-side aggregation
+// layer. A bundle packs several independently serialized HPX messages
+// (their non-zero-copy chunks) bound for the same destination into one
+// parcelport transfer:
+//
+//	u32 magic "HPXB" | u32 count | count × (u32 length | payload)
+//
+// The magic is distinct from the serialization package's message magic
+// ("HPX1"), so the receiver can tell a bundle from a plain message by
+// looking at the first four bytes and unbundle before delivery.
+
+// BundleMagic marks a bundle ("HPXB" in the package's little-endian style).
+const BundleMagic uint32 = 0x48505842
+
+// BundleHeaderSize is the fixed bundle prefix: magic plus frame count.
+const BundleHeaderSize = 8
+
+// FrameHeaderSize is the per-frame length prefix.
+const FrameHeaderSize = 4
+
+// ErrBundle is returned by ForEachFrame for malformed bundles.
+var ErrBundle = fmt.Errorf("wire: malformed bundle")
+
+// IsBundle reports whether b starts with the bundle magic.
+func IsBundle(b []byte) bool {
+	return len(b) >= BundleHeaderSize && binary.LittleEndian.Uint32(b) == BundleMagic
+}
+
+// BeginBundle appends an empty bundle header to buf (normally a
+// zero-length slice from GetBuf) and returns the extended slice.
+func BeginBundle(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, BundleMagic)
+	return binary.LittleEndian.AppendUint32(buf, 0)
+}
+
+// AppendFrame appends one length-prefixed frame holding payload and bumps
+// the bundle's frame count. The payload is copied, so the caller's buffer
+// is free for reuse on return.
+func AppendFrame(buf, payload []byte) []byte {
+	binary.LittleEndian.PutUint32(buf[4:], binary.LittleEndian.Uint32(buf[4:])+1)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// AppendFrameHeader bumps the bundle's frame count and appends the length
+// prefix of a frame whose payloadLen bytes the caller appends next. It is
+// the in-place-encode variant of AppendFrame: the caller writes the payload
+// directly into the bundle instead of copying it from a scratch buffer.
+func AppendFrameHeader(buf []byte, payloadLen int) []byte {
+	binary.LittleEndian.PutUint32(buf[4:], binary.LittleEndian.Uint32(buf[4:])+1)
+	return binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+}
+
+// BundleFrameCount returns the frame count of a bundle (0 for non-bundles).
+func BundleFrameCount(b []byte) int {
+	if !IsBundle(b) {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(b[4:]))
+}
+
+// ForEachFrame walks the frames of a bundle in order, calling fn with each
+// payload (aliasing b, capacity-clipped). It stops at the first error —
+// either a truncation/trailing-garbage ErrBundle or an error from fn.
+func ForEachFrame(b []byte, fn func(frame []byte) error) error {
+	if !IsBundle(b) {
+		return fmt.Errorf("%w: missing magic", ErrBundle)
+	}
+	count := int(binary.LittleEndian.Uint32(b[4:]))
+	off := BundleHeaderSize
+	for i := 0; i < count; i++ {
+		if len(b)-off < FrameHeaderSize {
+			return fmt.Errorf("%w: frame %d header truncated", ErrBundle, i)
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		off += FrameHeaderSize
+		if n < 0 || n > len(b)-off {
+			return fmt.Errorf("%w: frame %d payload truncated", ErrBundle, i)
+		}
+		if err := fn(b[off : off+n : off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	if off != len(b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBundle, len(b)-off)
+	}
+	return nil
+}

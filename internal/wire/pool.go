@@ -1,0 +1,46 @@
+package wire
+
+import "sync"
+
+// Size-classed byte-buffer pool backing the hot-path allocations of the
+// network stack: sender-side header buffers in the parcelports, aggregation
+// bundles, and serialization scratch. Buffers are handed out at the exact
+// requested length but always carry the capacity of their size class, so a
+// caller that appends within its declared need never reallocates.
+//
+// Ownership is strict: PutBuf may only be called by the single owner of the
+// buffer, once nothing aliases it. Returning a buffer that is still
+// referenced corrupts a future unrelated message.
+
+// poolClasses are the buffer capacities kept in pools, smallest first.
+// Requests above the largest class fall back to plain allocation.
+var poolClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10}
+
+var pools [len(poolClasses)]sync.Pool
+
+// GetBuf returns a buffer of length n. Contents are unspecified (recycled
+// buffers keep their previous bytes); callers must overwrite what they use.
+func GetBuf(n int) []byte {
+	for i, c := range poolClasses {
+		if n <= c {
+			if v := pools[i].Get(); v != nil {
+				return v.([]byte)[:n]
+			}
+			return make([]byte, n, c)
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutBuf returns a buffer obtained from GetBuf to its pool. Buffers whose
+// capacity is not exactly a pool class (e.g. oversize fallbacks, or slices
+// the caller grew past their class) are left to the garbage collector.
+func PutBuf(b []byte) {
+	c := cap(b)
+	for i, pc := range poolClasses {
+		if c == pc {
+			pools[i].Put(b[:0:pc])
+			return
+		}
+	}
+}
