@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check bench bench-quick fuzz examples experiments clean
+.PHONY: all build vet fmt-check test race check bench bench-quick bench-fabric fuzz examples experiments clean
 
 all: build vet test
 
@@ -31,6 +31,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... -timeout 3600s
+
+# Fabric datapath microbenchmarks: per-packet inject/poll cost, allocation
+# counts, and the poll-cost-vs-cluster-size scaling the ready index flattens
+# (see results/fabric-datapath.txt for recorded before/after numbers).
+bench-fabric:
+	$(GO) test -bench 'BenchmarkInjectPoll|BenchmarkPoll' -benchmem ./internal/fabric/ -timeout 1800s
 
 # Quick A/B of the 64 B message-rate benchmark with the sender-side
 # aggregation layer off and on.

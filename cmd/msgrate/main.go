@@ -10,12 +10,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 
 	"hpxgo/internal/bench"
 	"hpxgo/internal/core"
 	"hpxgo/internal/fabric"
 )
+
+// writeProfile dumps a named runtime profile (mutex, block) to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+	}
+}
 
 func main() {
 	config := flag.String("config", "lci", "parcelport configuration (Table 1 name)")
@@ -35,6 +49,8 @@ func main() {
 	aggsize := flag.Int("aggsize", 0, "aggregation flush size threshold in bytes (0 = default)")
 	aggdelay := flag.Duration("aggdelay", 0, "aggregation flush age deadline (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+	blockprofile := flag.String("blockprofile", "", "write a blocking profile to this file")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -49,6 +65,14 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprofile)
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprofile)
 	}
 
 	params := bench.MsgRateParams{

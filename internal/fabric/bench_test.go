@@ -1,6 +1,9 @@
 package fabric
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func benchNet(b *testing.B, cfg Config) *Network {
 	b.Helper()
@@ -21,8 +24,11 @@ func BenchmarkInjectPoll8B(b *testing.B) {
 		if err := src.Inject(Packet{Dst: 1, Data: payload}); err != nil {
 			b.Fatal(err)
 		}
-		for dst.Poll() == nil {
+		var p *Packet
+		for p == nil {
+			p = dst.Poll()
 		}
+		p.Release()
 	}
 }
 
@@ -31,12 +37,16 @@ func BenchmarkInjectPoll16K(b *testing.B) {
 	src, dst := n.Device(0), n.Device(1)
 	payload := make([]byte, 16*1024)
 	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := src.Inject(Packet{Dst: 1, Data: payload}); err != nil {
 			b.Fatal(err)
 		}
-		for dst.Poll() == nil {
+		var p *Packet
+		for p == nil {
+			p = dst.Poll()
 		}
+		p.Release()
 	}
 }
 
@@ -48,5 +58,55 @@ func BenchmarkPollEmpty(b *testing.B) {
 		if dst.Poll() != nil {
 			b.Fatal("unexpected packet")
 		}
+	}
+}
+
+// BenchmarkPollManyNodes measures the per-poll cost of a device receiving
+// from ONE active peer while the cluster grows around it. Poll cost must
+// depend on traffic (rails with arrivals), not on cluster size.
+func BenchmarkPollManyNodes(b *testing.B) {
+	for _, nodes := range []int{2, 16, 64} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			n, err := NewNetwork(Config{Nodes: nodes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, dst := n.Device(1), n.Device(0)
+			payload := make([]byte, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := src.Inject(Packet{Dst: 0, Data: payload}); err != nil {
+					b.Fatal(err)
+				}
+				var p *Packet
+				for p == nil {
+					p = dst.Poll()
+				}
+				p.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkPollEmptyManyNodes isolates the quiescent-poll cost: a device
+// with no traffic at all, polled in a growing cluster. This is the pure
+// "scan all links" overhead the ready index removes.
+func BenchmarkPollEmptyManyNodes(b *testing.B) {
+	for _, nodes := range []int{2, 16, 64} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			n, err := NewNetwork(Config{Nodes: nodes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst := n.Device(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dst.Poll() != nil {
+					b.Fatal("unexpected packet")
+				}
+			}
+		})
 	}
 }

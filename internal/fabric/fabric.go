@@ -14,8 +14,16 @@
 //     (dedicated thread vs. idle worker threads) a meaningful design axis.
 //   - Out-of-order delivery: with Rails > 1 packets between the same pair of
 //     nodes may arrive out of injection order, as LCI's transport permits.
-//   - Shared receive structures: the per-device RX queues are lock-protected
-//     and become real contention points when many threads poll concurrently.
+//   - Shared receive structures: the per-device RX rails are real contention
+//     points when many threads poll concurrently.
+//
+// The datapath is allocation-free and cluster-size-independent in steady
+// state: stored packets come from per-device pools and return to them via
+// Packet.Release (pool.go); each rail is a bounded ring with a short
+// producer lock and an atomic consumer pop; and every device keeps a ready
+// index of rails with queued traffic, so Poll visits only rails that have
+// (or are about to have) arrivals instead of scanning all Nodes × Rails
+// links.
 //
 // By default delivery is reliable: packets are never dropped or corrupted
 // (matching the reliable-connection InfiniBand transport used in the paper).
@@ -97,12 +105,31 @@ func DefaultConfig(nodes int) Config {
 	}
 }
 
+// defaultRailSlots is the rail ring size when MaxInflight does not bound it;
+// bursts beyond it spill to the rail's FIFO overflow list, so "unlimited"
+// injection still works — the ring is the fast path, not a hard cap.
+const defaultRailSlots = 256
+
+// maxRailSlots caps the rail ring so a huge MaxInflight configures overflow
+// spilling rather than huge slot arrays.
+const maxRailSlots = 4096
+
 // Network is a simulated interconnect between Config.Nodes nodes.
 type Network struct {
 	cfg     Config
 	start   time.Time
+	railCap int         // rail ring slots (power of two)
 	devices [][]*Device // [node][deviceIndex]
 	trace   func(cat, label string, arg int64)
+}
+
+// pow2ceil rounds n up to the next power of two (minimum 2).
+func pow2ceil(n int) int {
+	p := 2
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // NewNetwork builds the network and Config.DevicesPerNode devices per node.
@@ -136,14 +163,28 @@ func NewNetwork(cfg Config) (*Network, error) {
 		}
 	}
 	n := &Network{cfg: cfg, start: time.Now()}
+	n.railCap = defaultRailSlots
+	if cfg.MaxInflight > 0 {
+		n.railCap = pow2ceil(cfg.MaxInflight)
+		if n.railCap > maxRailSlots {
+			n.railCap = maxRailSlots
+		}
+	}
 	n.devices = make([][]*Device, cfg.Nodes)
 	for i := range n.devices {
 		n.devices[i] = make([]*Device, cfg.DevicesPerNode)
 		for di := range n.devices[i] {
 			d := &Device{net: n, node: i, idx: di}
+			d.pool = newPacketPool()
+			d.readyIdx = newMPMC[uint32](cfg.Nodes * cfg.Rails)
 			d.in = make([][]rail, cfg.Nodes)
 			for s := range d.in {
 				d.in[s] = make([]rail, cfg.Rails)
+				for ri := range d.in[s] {
+					r := &d.in[s][ri]
+					r.owner = d
+					r.id = uint32(s*cfg.Rails + ri)
+				}
 			}
 			if cfg.Reliability {
 				d.rel = newRelState(d)
@@ -205,11 +246,136 @@ func (n *Network) xmitNs(payload int) int64 {
 
 // rail is one FIFO delivery lane of a (src, dst) link. Packets within a rail
 // stay in order; distinct rails are independent.
+//
+// The rail is a bounded power-of-two ring. Producers (the source device's
+// Inject and its ARQ) serialize on a short mutex that also orders the wire
+// clock (nextFreeNs); the consumer side pops with an atomic CAS and no lock.
+// Traffic beyond the ring capacity — ARQ retransmissions and acks, whose
+// liveness must not depend on queue headroom, or plain injection when
+// MaxInflight is unlimited — spills into the FIFO overflow list and migrates
+// back into the ring as slots free up, preserving per-rail order.
 type rail struct {
+	owner *Device // receiving device; its ready index tracks this rail
+	id    uint32  // flat index (src*Rails + rail) in the owner's ready index
+
+	// Producer side, under mu.
 	mu         sync.Mutex
-	q          []*Packet
-	head       int
-	nextFreeNs int64 // when the rail's "wire" is free again
+	enq        uint64
+	nextFreeNs int64      // when the rail's "wire" is free again
+	slots      []railSlot // allocated on first enqueue (idle rails cost 3 words)
+	mask       uint64
+	overflow   []*Packet // FIFO tail beyond ring capacity
+
+	deq    atomic.Uint64
+	count  atomic.Int64  // packets queued (ring + overflow)
+	ovf    atomic.Int64  // packets in overflow
+	ready  atomic.Uint32 // 1 while the rail id is in (or held from) the ready index
+	headNs atomic.Int64  // arrival hint of a not-yet-arrived head (0 = unknown)
+}
+
+// railSlot is one ring slot. seq is the Vyukov lap counter; arrive mirrors
+// the packet's arrival time so the consumer can gate on it atomically
+// without claiming the slot.
+type railSlot struct {
+	seq    atomic.Uint64
+	arrive atomic.Int64
+	pkt    *Packet
+}
+
+// notify publishes the rail to its owner's ready index on the quiescent →
+// pending transition. The CAS guarantees each rail id is in the index at
+// most once, so the index (sized for every rail) can never overflow.
+func (r *rail) notify() {
+	if r.ready.CompareAndSwap(0, 1) {
+		r.owner.readyIdx.TryPush(r.id)
+	}
+}
+
+// retire marks the rail quiescent after a consumer drained it, re-arming the
+// notify edge. The count recheck closes the race with a producer that
+// enqueued between the final empty pop and the flag clear.
+func (r *rail) retire() {
+	r.headNs.Store(0)
+	r.ready.Store(0)
+	if r.count.Load() > 0 {
+		r.notify()
+	}
+}
+
+// ringPushLocked appends pkt to the ring, failing when the ring is full.
+// Caller holds r.mu and has set pkt.arriveNs.
+func (r *rail) ringPushLocked(pkt *Packet) bool {
+	pos := r.enq
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos {
+		return false // full: the consumer has not retired this lap yet
+	}
+	slot.pkt = pkt
+	slot.arrive.Store(pkt.arriveNs)
+	slot.seq.Store(pos + 1)
+	r.enq = pos + 1
+	return true
+}
+
+// flushOverflowLocked migrates overflow packets into free ring slots,
+// preserving FIFO order. Caller holds r.mu.
+func (r *rail) flushOverflowLocked() {
+	n := 0
+	for _, pkt := range r.overflow {
+		if !r.ringPushLocked(pkt) {
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		rem := copy(r.overflow, r.overflow[n:])
+		for i := rem; i < len(r.overflow); i++ {
+			r.overflow[i] = nil
+		}
+		r.overflow = r.overflow[:rem]
+		r.ovf.Add(int64(-n))
+	}
+}
+
+// tryPop pops the rail's head packet if it has arrived by now. The boolean
+// reports "blocked": a head exists but has not arrived yet (the caller
+// re-parks the rail; the headNs hint was refreshed).
+func (r *rail) tryPop(now int64) (*Packet, bool) {
+	for {
+		pos := r.deq.Load()
+		if r.slots == nil {
+			return nil, false // never produced into
+		}
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		if seq > pos+1 {
+			continue // deq advanced under us; reload
+		}
+		if seq < pos+1 {
+			// Ring empty from this side; overflow may still hold packets
+			// (they could not enter the ring while it was full).
+			if r.ovf.Load() > 0 {
+				r.mu.Lock()
+				r.flushOverflowLocked()
+				r.mu.Unlock()
+				continue
+			}
+			return nil, false
+		}
+		arr := slot.arrive.Load()
+		if arr > now {
+			r.headNs.Store(arr)
+			return nil, true
+		}
+		if r.deq.CompareAndSwap(pos, pos+1) {
+			p := slot.pkt
+			slot.pkt = nil
+			slot.seq.Store(pos + r.mask + 1)
+			r.headNs.Store(0)
+			r.count.Add(-1)
+			return p, false
+		}
+	}
 }
 
 // Stats are cumulative per-device counters. The reliability and fault
@@ -237,8 +403,8 @@ type Stats struct {
 }
 
 // Device is a node's network interface. Injection is thread-safe; polling is
-// thread-safe but serializes on per-rail locks, which is the intended
-// contention point.
+// thread-safe — concurrent pollers claim distinct ready rails, so they
+// contend only on the ready index, not on a shared lock.
 type Device struct {
 	net  *Network
 	node int
@@ -247,8 +413,15 @@ type Device struct {
 	// in[src][rail] holds packets heading to this device from src.
 	in [][]rail
 
+	// readyIdx holds the ids of rails with queued traffic. Producers push a
+	// rail id on its quiescent → pending edge; Poll drains ready rails and
+	// re-parks the ones whose head has not arrived yet, so poll cost scales
+	// with traffic, not with cluster size.
+	readyIdx *mpmc[uint32]
+
+	pool *packetPool // recycled stored packets (see pool.go)
+
 	railRR atomic.Uint64 // round-robin rail selector for injection
-	pollRR atomic.Uint64 // rotating poll start position
 
 	rel *relState // reliability engine; nil when Config.Reliability is off
 
@@ -292,10 +465,16 @@ func (d *Device) Node() int { return d.node }
 // Index returns the device index within its node.
 func (d *Device) Index() int { return d.idx }
 
+// railByID maps a ready-index id back to its rail.
+func (d *Device) railByID(id uint32) *rail {
+	rails := len(d.in[0])
+	return &d.in[int(id)/rails][int(id)%rails]
+}
+
 // Inject transmits a packet from this device to p.Dst. The payload is copied
-// into a fabric-owned buffer (the "DMA"), so the caller may reuse its buffer
-// immediately — this is what lets the LCI layer return pool packets to its
-// freelist as soon as the send is injected.
+// into a pooled fabric-owned buffer (the "DMA"), so the caller may reuse its
+// buffer immediately — this is what lets the LCI layer return pool packets
+// to its freelist as soon as the send is injected.
 //
 // Inject returns ErrBackpressure when the destination rail is full. With
 // reliability on, injection into a HealthDown link succeeds silently (the
@@ -314,29 +493,111 @@ func (d *Device) Inject(p Packet) error {
 		return d.rel.inject(&p, r)
 	}
 
-	// Copy payload into a fabric-owned buffer.
-	stored := &Packet{Src: p.Src, Dst: p.Dst, Op: p.Op, T0: p.T0, T1: p.T1, T2: p.T2}
-	if len(p.Data) > 0 {
-		stored.Data = make([]byte, len(p.Data))
-		copy(stored.Data, p.Data)
-	}
-
 	r.mu.Lock()
-	if d.net.cfg.MaxInflight > 0 && r.queued() >= d.net.cfg.MaxInflight {
+	if max := d.net.cfg.MaxInflight; max > 0 && int(r.count.Load()) >= max {
 		r.mu.Unlock()
 		d.backpressured.Add(1)
 		return ErrBackpressure
 	}
-	d.enqueueLocked(r, stored, 0)
+	d.enqueueLocked(r, d.newStored(&p), 0)
 	r.mu.Unlock()
+	r.notify()
 
 	d.injectedPackets.Add(1)
-	d.injectedBytes.Add(uint64(len(stored.Data)))
+	d.injectedBytes.Add(uint64(len(p.Data)))
 	return nil
+}
+
+// InjectBatch injects pkts in order, amortizing the per-rail producer lock
+// across runs of consecutive packets to the same destination (one rail per
+// run). It returns how many packets were injected; on backpressure or an
+// invalid destination it stops there, so the caller retries pkts[n:].
+func (d *Device) InjectBatch(pkts []Packet) (int, error) {
+	buffered := d.rel != nil && d.rel.buffered
+	for i := 0; i < len(pkts); {
+		dst := pkts[i].Dst
+		if dst < 0 || dst >= len(d.net.devices) {
+			return i, fmt.Errorf("fabric: invalid destination node %d", dst)
+		}
+		if buffered {
+			// The fault-absorbing ARQ does per-packet window bookkeeping;
+			// no run amortization there.
+			p := pkts[i]
+			p.Src = d.node
+			if err := d.rel.inject(&p, d.railFor(dst)); err != nil {
+				return i, err
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(pkts) && pkts[j].Dst == dst {
+			j++
+		}
+		n, err := d.injectRun(pkts[i:j])
+		i += n
+		if err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}
+
+// injectRun injects a run of same-destination packets under one producer
+// lock acquisition. Handles the baseline and lossless-reliability paths
+// (InjectBatch routes the buffered ARQ around it).
+func (d *Device) injectRun(run []Packet) (int, error) {
+	dst := run[0].Dst
+	var tl *txLink
+	var rx *rxLink
+	if d.rel != nil {
+		tl = d.rel.tx[dst]
+		if tl.downF.Load() {
+			d.downDropped.Add(uint64(len(run)))
+			return len(run), nil // blackholed: upper layers time out
+		}
+		rx = d.rel.rx[dst]
+	}
+	r := d.railFor(dst)
+	max := d.net.cfg.MaxInflight
+	n := 0
+	var bytes uint64
+	r.mu.Lock()
+	for k := range run {
+		if max > 0 && int(r.count.Load()) >= max {
+			break
+		}
+		p := &run[k]
+		p.Src = d.node
+		stored := d.newStored(p)
+		if tl != nil {
+			stored.relSeq = tl.seqF.Add(1)
+			stored.relFlags = flagRel | flagSeq
+			stored.relAck = rx.cum.Load()
+			rx.ackOwedNs.Store(0) // this transmission carries the ack
+		}
+		d.enqueueLocked(r, stored, 0)
+		n++
+		bytes += uint64(len(p.Data))
+	}
+	r.mu.Unlock()
+	if n > 0 {
+		r.notify()
+		d.injectedPackets.Add(uint64(n))
+		d.injectedBytes.Add(bytes)
+	}
+	if n < len(run) {
+		d.backpressured.Add(1)
+		return n, ErrBackpressure
+	}
+	return n, nil
 }
 
 // railFor picks the (round-robin) destination rail for one transmission to
 // dst. Device i talks to device i: replicated contexts are independent lanes.
+// The rotation arithmetic stays in uint64 the whole way: converting the
+// counter to int first (as an earlier revision did) goes negative at
+// wraparound and a negative % would index out of bounds.
 func (d *Device) railFor(dst int) *rail {
 	dstDev := d.net.devices[dst][d.idx]
 	railIdx := 0
@@ -349,14 +610,17 @@ func (d *Device) railFor(dst int) *rail {
 // enqueue places pkt on rail r under the latency/bandwidth model, with
 // extraNs of additional one-way latency (fault spikes). It never applies
 // backpressure — reliability-layer callers pre-check or deliberately bypass
-// the cap (ARQ liveness must not depend on queue headroom).
+// the cap (ARQ liveness must not depend on queue headroom; the overflow
+// list absorbs what the ring cannot).
 func (d *Device) enqueue(r *rail, pkt *Packet, extraNs int64) {
 	r.mu.Lock()
 	d.enqueueLocked(r, pkt, extraNs)
 	r.mu.Unlock()
+	r.notify()
 }
 
-// enqueueLocked is enqueue with r.mu held.
+// enqueueLocked is enqueue with r.mu held; the caller runs r.notify() after
+// unlocking.
 func (d *Device) enqueueLocked(r *rail, pkt *Packet, extraNs int64) {
 	now := d.net.nowNs()
 	xmit := d.net.xmitNs(len(pkt.Data))
@@ -366,33 +630,67 @@ func (d *Device) enqueueLocked(r *rail, pkt *Packet, extraNs int64) {
 	}
 	r.nextFreeNs = start + xmit
 	pkt.arriveNs = start + xmit + d.net.cfg.LatencyNs + extraNs
-	r.q = append(r.q, pkt)
+	if r.slots == nil {
+		n := d.net.railCap
+		r.slots = make([]railSlot, n)
+		for i := range r.slots {
+			r.slots[i].seq.Store(uint64(i))
+		}
+		r.mask = uint64(n - 1)
+	}
+	if r.ovf.Load() > 0 {
+		r.flushOverflowLocked()
+	}
+	if len(r.overflow) > 0 || !r.ringPushLocked(pkt) {
+		r.overflow = append(r.overflow, pkt)
+		r.ovf.Add(1)
+	}
+	r.count.Add(1)
 }
 
-// Poll returns one arrived packet destined to this device, or nil if none has
-// arrived yet. It scans source links starting at a rotating position so no
-// source is starved. With reliability on it first runs the time-gated ARQ
-// maintenance (retransmissions, standalone acks) and filters arrivals
-// through the reliability layer — corrupt packets, duplicates and ack-only
-// packets are consumed here and never surface.
+// Poll returns one arrived packet destined to this device, or nil if none
+// has arrived yet. It drains the device's ready index — only rails with
+// queued traffic are visited, so an idle or mostly-idle device polls in O(1)
+// regardless of cluster size. Rails whose head has not arrived yet re-park
+// cheaply behind an atomic arrival hint. With reliability on it first runs
+// the time-gated ARQ maintenance (retransmissions, standalone acks) and
+// filters arrivals through the reliability layer — corrupt packets,
+// duplicates and ack-only packets are consumed (and released) here and
+// never surface.
+//
+// The returned packet is owned by the caller, who must Release it.
 func (d *Device) Poll() *Packet {
 	if d.rel != nil {
 		d.rel.maintain()
 	}
 	now := d.net.nowNs()
-	nLinks := len(d.in) * len(d.in[0])
-	startAt := int(d.pollRR.Add(1))
-	for i := 0; i < nLinks; i++ {
-		idx := (startAt + i) % nLinks
-		r := &d.in[idx/len(d.in[0])][idx%len(d.in[0])]
+	// Visit each currently-ready rail at most once per call: re-parked
+	// rails go behind the entries counted here.
+	for budget := d.readyIdx.Len() + 1; budget > 0; budget-- {
+		id, ok := d.readyIdx.TryPop()
+		if !ok {
+			return nil
+		}
+		r := d.railByID(id)
+		if hint := r.headNs.Load(); hint > now {
+			d.readyIdx.TryPush(id) // head not arrived: re-park cheaply
+			continue
+		}
 		for {
-			p := r.tryPop(now)
+			p, blocked := r.tryPop(now)
 			if p == nil {
+				if blocked {
+					d.readyIdx.TryPush(id)
+				} else {
+					r.retire()
+				}
 				break
 			}
 			if d.rel != nil && !d.rel.admit(p) {
-				continue // consumed by the ARQ; try the same rail again
+				p.Release() // consumed by the ARQ; try the same rail again
+				continue
 			}
+			d.readyIdx.TryPush(id) // more arrivals may be queued behind
 			d.deliveredPackets.Add(1)
 			d.deliveredBytes.Add(uint64(len(p.Data)))
 			return p
@@ -402,7 +700,8 @@ func (d *Device) Poll() *Packet {
 }
 
 // PollInto appends up to max arrived packets to out and returns the extended
-// slice. It is the batched form of Poll used by progress engines.
+// slice. It is the batched form of Poll used by progress engines. Every
+// appended packet is owned by the caller (Release each).
 func (d *Device) PollInto(out []*Packet, max int) []*Packet {
 	for i := 0; i < max; i++ {
 		p := d.Poll()
@@ -418,12 +717,8 @@ func (d *Device) PollInto(out []*Packet, max int) []*Packet {
 // not. Intended for tests and shutdown draining.
 func (d *Device) Pending() bool {
 	for s := range d.in {
-		for r := range d.in[s] {
-			q := &d.in[s][r]
-			q.mu.Lock()
-			n := len(q.q) - q.head
-			q.mu.Unlock()
-			if n > 0 {
+		for ri := range d.in[s] {
+			if d.in[s][ri].count.Load() > 0 {
 				return true
 			}
 		}
@@ -450,43 +745,4 @@ func (d *Device) Stats() Stats {
 		FaultCorrupted:   d.faultCorrupted.Load(),
 		LatencySpikes:    d.latencySpikes.Load(),
 	}
-}
-
-// queued reports packets currently on the rail. Caller holds r.mu.
-func (r *rail) queued() int { return len(r.q) - r.head }
-
-// queuedNow is queued with internal locking (reliability-layer pre-check).
-func (r *rail) queuedNow() int {
-	r.mu.Lock()
-	n := len(r.q) - r.head
-	r.mu.Unlock()
-	return n
-}
-
-// tryPop pops the rail's head packet if it has arrived by now.
-func (r *rail) tryPop(now int64) *Packet {
-	if !r.mu.TryLock() {
-		// Another poller holds this rail; skip rather than block, in the
-		// spirit of LCI's fine-grained try-locks. Callers scan other rails.
-		return nil
-	}
-	defer r.mu.Unlock()
-	if r.head >= len(r.q) {
-		if r.head > 0 {
-			r.q = r.q[:0]
-			r.head = 0
-		}
-		return nil
-	}
-	p := r.q[r.head]
-	if p.arriveNs > now {
-		return nil
-	}
-	r.q[r.head] = nil
-	r.head++
-	if r.head == len(r.q) {
-		r.q = r.q[:0]
-		r.head = 0
-	}
-	return p
 }

@@ -3,6 +3,10 @@ package fabric
 // Packet is the unit the fabric moves. The fabric itself assigns no meaning
 // to Op, T0, or T1: they are an opcode and two 64-bit metadata words for the
 // communication library built on top (tag bits, handle indices, sizes, ...).
+//
+// Packets returned by Poll are owned by the caller and must be given back
+// with Release (see pool.go for the full ownership protocol); the payload
+// can be kept past Release only via DetachData.
 type Packet struct {
 	Src, Dst int
 	Op       uint8
@@ -15,6 +19,12 @@ type Packet struct {
 	Data []byte
 
 	arriveNs int64 // set by Inject; visible to Poll once passed
+
+	// Pool bookkeeping (pool.go); zero for caller-constructed packets.
+	// refs is a plain int32 accessed atomically (not atomic.Int32) so the
+	// Inject(p Packet) by-value template API stays copyable under vet.
+	owner *Device
+	refs  int32
 
 	// Reliability framing (rel.go); zero when Config.Reliability is off.
 	relSeq   uint64 // per-(src, dst, device) sequence number, 1-based

@@ -158,19 +158,16 @@ func packetChecksum(p *Packet) uint32 {
 	return wire.Checksum32Add(wire.Checksum32(meta[:]), p.Data)
 }
 
-// clonePacket copies a pristine stored packet for one transmission attempt.
-// The payload is copied too: the delivered clone is handed to the upper
-// layer (which may mutate it) and corruption injection must never poison
-// the retransmission copy.
-func clonePacket(p *Packet) *Packet {
-	w := &Packet{
-		Src: p.Src, Dst: p.Dst, Op: p.Op,
-		T0: p.T0, T1: p.T1, T2: p.T2,
-		relSeq: p.relSeq, relFlags: p.relFlags,
-	}
-	if len(p.Data) > 0 {
-		w.Data = append([]byte(nil), p.Data...)
-	}
+// clonePacket copies a pristine stored packet into a pooled packet for one
+// transmission attempt. The payload is copied too: the delivered clone is
+// handed to the upper layer (which may mutate or detach it) and corruption
+// injection must never poison the retransmission copy.
+func (d *Device) clonePacket(p *Packet) *Packet {
+	w := d.getPacket()
+	w.Src, w.Dst, w.Op = p.Src, p.Dst, p.Op
+	w.T0, w.T1, w.T2 = p.T0, p.T1, p.T2
+	w.relSeq, w.relFlags = p.relSeq, p.relFlags
+	w.Data = append(w.Data[:0], p.Data...)
 	return w
 }
 
@@ -211,22 +208,18 @@ func (rs *relState) inject(p *Packet, r *rail) error {
 			d.downDropped.Add(1)
 			return nil // blackholed: the peer is dead, upper layers time out
 		}
-		if max := d.net.cfg.MaxInflight; max > 0 && r.queuedNow() >= max {
+		if max := d.net.cfg.MaxInflight; max > 0 && int(r.count.Load()) >= max {
 			d.backpressured.Add(1)
 			return ErrBackpressure
 		}
-		stored := &Packet{Src: p.Src, Dst: p.Dst, Op: p.Op, T0: p.T0, T1: p.T1, T2: p.T2}
-		if len(p.Data) > 0 {
-			stored.Data = make([]byte, len(p.Data))
-			copy(stored.Data, p.Data)
-		}
+		stored := d.newStored(p)
 		stored.relSeq = tl.seqF.Add(1)
 		stored.relFlags = flagRel | flagSeq
 		stored.relAck = rs.rx[p.Dst].cum.Load()
 		rs.rx[p.Dst].ackOwedNs.Store(0) // this transmission carries the ack
 		d.enqueue(r, stored, 0)
 		d.injectedPackets.Add(1)
-		d.injectedBytes.Add(uint64(len(stored.Data)))
+		d.injectedBytes.Add(uint64(len(p.Data)))
 		return nil
 	}
 	tl.mu.Lock()
@@ -235,7 +228,7 @@ func (rs *relState) inject(p *Packet, r *rail) error {
 		d.downDropped.Add(1)
 		return nil // blackholed: the peer is dead, upper layers time out
 	}
-	if max := d.net.cfg.MaxInflight; max > 0 && r.queuedNow() >= max {
+	if max := d.net.cfg.MaxInflight; max > 0 && int(r.count.Load()) >= max {
 		tl.mu.Unlock()
 		d.backpressured.Add(1)
 		return ErrBackpressure
@@ -313,7 +306,7 @@ func (rs *relState) transmitLocked(tl *txLink, pend *relPending, r *rail) {
 		}
 	}
 	for i := 0; i < copies; i++ {
-		w := clonePacket(&pend.pkt)
+		w := d.clonePacket(&pend.pkt)
 		w.relAck = rs.rx[pend.pkt.Dst].cum.Load()
 		rs.rx[pend.pkt.Dst].ackOwedNs.Store(0) // this transmission carries the ack
 		// The checksum only defends against injected corruption; when none is
@@ -543,7 +536,9 @@ func (rs *relState) sendAck(dst int) {
 			}
 		}
 	}
-	w := &Packet{Src: d.node, Dst: dst, Op: opAck, relFlags: flagRel}
+	w := d.getPacket()
+	w.Src, w.Dst, w.Op = d.node, dst, opAck
+	w.relFlags = flagRel
 	w.relAck = rs.rx[dst].cum.Load()
 	if d.net.cfg.Faults.CorruptProb > 0 {
 		w.sum = packetChecksum(w)

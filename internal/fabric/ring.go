@@ -1,0 +1,93 @@
+package fabric
+
+import "sync/atomic"
+
+// mpmc is a bounded multi-producer multi-consumer FIFO (Dmitry Vyukov's
+// sequence-numbered ring), the same pattern internal/lci uses for its
+// completion queues and packet freelist. The fabric keeps its own copy so
+// the dependency arrow stays lci → fabric. It backs the per-device packet
+// pool freelist and the arrival ready-index.
+type mpmc[T any] struct {
+	mask uint64
+	buf  []mpmcSlot[T]
+	_    [56]byte // keep enq and deq on separate cache lines
+	enq  atomic.Uint64
+	_    [56]byte
+	deq  atomic.Uint64
+}
+
+type mpmcSlot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// newMPMC creates a ring with capacity rounded up to a power of two.
+func newMPMC[T any](capacity int) *mpmc[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &mpmc[T]{mask: uint64(n - 1), buf: make([]mpmcSlot[T], n)}
+	for i := range r.buf {
+		r.buf[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// TryPush enqueues v, returning false if the ring is full.
+func (r *mpmc[T]) TryPush(v T) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.buf[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.val = v
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			return false // full
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// TryPop dequeues the oldest element, returning false if the ring is empty.
+func (r *mpmc[T]) TryPop() (T, bool) {
+	var zero T
+	pos := r.deq.Load()
+	for {
+		slot := &r.buf[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				v := slot.val
+				slot.val = zero
+				slot.seq.Store(pos + r.mask + 1)
+				return v, true
+			}
+			pos = r.deq.Load()
+		case seq <= pos:
+			return zero, false // empty
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// Len returns an approximate number of queued elements.
+func (r *mpmc[T]) Len() int {
+	n := int64(r.enq.Load()) - int64(r.deq.Load())
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Cap returns the ring capacity.
+func (r *mpmc[T]) Cap() int { return len(r.buf) }

@@ -389,13 +389,16 @@ func (d *Device) Recvl(src int, tag uint32, buf []byte, comp Comp, ctx any) erro
 	return nil
 }
 
-// deliverMedium copies an arrived eager message into the posted buffer and
-// signals completion.
+// deliverMedium copies an arrived eager message into the posted buffer,
+// signals completion and returns the packet to the fabric pool. Callers must
+// not touch pkt afterwards.
 func (d *Device) deliverMedium(pkt *fabric.Packet, pr *postedRecv) {
 	n := copy(pr.buf, pkt.Data)
+	src, tag := pkt.Src, uint32(pkt.T0)
+	pkt.Release()
 	d.stats.mediumRecvd.Add(1)
 	if pr.comp != nil {
-		pr.comp.signal(Request{Type: CompRecv, Rank: pkt.Src, Tag: uint32(pkt.T0), Data: pr.buf[:n], Ctx: pr.ctx})
+		pr.comp.signal(Request{Type: CompRecv, Rank: src, Tag: tag, Data: pr.buf[:n], Ctx: pr.ctx})
 	}
 }
 
@@ -417,5 +420,7 @@ func (d *Device) acceptRTS(rts *fabric.Packet, pr *postedRecv) error {
 	h.src = rts.Src
 	h.tag = uint32(rts.T0)
 	sendIdx := uint32(rts.T1 >> 32)
-	return d.fdev.Inject(fabric.Packet{Dst: rts.Src, Op: opCTS, T0: uint64(sendIdx), T1: uint64(idx)})
+	err := d.fdev.Inject(fabric.Packet{Dst: rts.Src, Op: opCTS, T0: uint64(sendIdx), T1: uint64(idx)})
+	rts.Release() // consumed either way; on inject failure the CTS is simply lost
+	return err
 }

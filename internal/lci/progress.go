@@ -1,6 +1,7 @@
 package lci
 
 import (
+	"encoding/binary"
 	"errors"
 	"sync"
 
@@ -118,14 +119,17 @@ func (d *Device) dispatch(pkt *fabric.Packet) {
 			d.stats.unexpected.Add(1)
 		}
 	case opShort:
-		// Unpack the immediate payload into the packet's data slot so the
-		// ordinary medium delivery path applies.
+		// Unpack the immediate payload into the packet's own data slot so the
+		// ordinary medium delivery path applies. Pooled packets arrive with
+		// payload capacity to spare, so this is allocation-free.
 		n := int(pkt.T2)
-		data := make([]byte, n)
-		for i := range data {
-			data[i] = byte(pkt.T1 >> (8 * i))
+		b := pkt.Data
+		if cap(b) < ShortSize {
+			b = make([]byte, ShortSize)
 		}
-		pkt.Data = data
+		b = b[:ShortSize]
+		binary.LittleEndian.PutUint64(b, pkt.T1)
+		pkt.Data = b[:n]
 		tag := uint32(pkt.T0)
 		if pr := d.match.arrive(kindMedium, pkt, tag); pr != nil {
 			d.deliverMedium(pkt, pr)
@@ -134,10 +138,12 @@ func (d *Device) dispatch(pkt *fabric.Packet) {
 		}
 	case opPut:
 		// Dynamic put: the "LCI runtime" allocates the target buffer. The
-		// fabric already handed us a private copy, so pass it through —
-		// zero additional copies, as in the real implementation.
+		// fabric already handed us a private copy, so detach and pass it
+		// through — zero additional copies, as in the real implementation.
+		// Detaching is required: the CQ consumer may hold Data indefinitely.
 		d.stats.putsRecvd.Add(1)
-		d.putCQ.Push(Request{Type: CompPut, Rank: pkt.Src, Tag: uint32(pkt.T0), Data: pkt.Data})
+		d.putCQ.Push(Request{Type: CompPut, Rank: pkt.Src, Tag: uint32(pkt.T0), Data: pkt.DetachData()})
+		pkt.Release()
 	case opRTS:
 		tag := uint32(pkt.T0)
 		if pr := d.match.arrive(kindLong, pkt, tag); pr != nil {
@@ -149,6 +155,7 @@ func (d *Device) dispatch(pkt *fabric.Packet) {
 		}
 	case opCTS:
 		d.handleCTS(pkt)
+		pkt.Release()
 	case opPutRTS:
 		// One-sided long put: allocate the target buffer now, accept.
 		size := int(uint32(pkt.T1))
@@ -166,10 +173,13 @@ func (d *Device) dispatch(pkt *fabric.Packet) {
 		sendIdx := uint32(pkt.T1 >> 32)
 		if err := d.fdev.Inject(fabric.Packet{Dst: pkt.Src, Op: opPutCTS, T0: uint64(sendIdx), T1: uint64(idx)}); err != nil {
 			d.recvHandles.release(idx)
-			d.deferPacket(pkt)
+			d.deferPacket(pkt) // keeps ownership; released when it finally lands
+			return
 		}
+		pkt.Release()
 	case opPutCTS:
 		d.handlePutCTS(pkt)
+		pkt.Release()
 	case opPutData:
 		idx := uint32(pkt.T0)
 		h := d.recvHandles.get(idx)
@@ -179,6 +189,7 @@ func (d *Device) dispatch(pkt *fabric.Packet) {
 		d.putCQ.Push(Request{Type: CompPut, Rank: h.src, Tag: h.tag, Data: h.buf})
 		d.recvHandles.release(idx)
 		d.stats.putsRecvd.Add(1)
+		pkt.Release()
 	case opLongData:
 		idx := uint32(pkt.T0)
 		h := d.recvHandles.get(idx)
@@ -188,6 +199,7 @@ func (d *Device) dispatch(pkt *fabric.Packet) {
 		}
 		d.recvHandles.release(idx)
 		d.stats.longRecvd.Add(1)
+		pkt.Release()
 	}
 }
 

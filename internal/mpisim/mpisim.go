@@ -398,11 +398,18 @@ const progressBatch = 64
 
 // progressLocked drains deferred injections and arrived packets.
 func (c *Comm) progressLocked() {
-	for len(c.deferred) > 0 {
-		if err := c.dev.Inject(c.deferred[0]); err != nil {
-			break
+	if len(c.deferred) > 0 {
+		// Batch-inject the backlog: consecutive same-destination packets share
+		// one rail-lock acquisition. On backpressure n stops short and the
+		// remainder stays queued in order.
+		n, _ := c.dev.InjectBatch(c.deferred)
+		if n > 0 {
+			rem := copy(c.deferred, c.deferred[n:])
+			for i := rem; i < len(c.deferred); i++ {
+				c.deferred[i] = fabric.Packet{}
+			}
+			c.deferred = c.deferred[:rem]
 		}
-		c.deferred = c.deferred[1:]
 	}
 	for i := 0; i < progressBatch; i++ {
 		pkt := c.dev.Poll()
@@ -454,24 +461,28 @@ func (c *Comm) dispatchLocked(pkt *fabric.Packet) {
 	case opCTS:
 		h := uint32(pkt.T0)
 		recvH := uint32(pkt.T1)
+		src := pkt.Src
+		pkt.Release()
 		r := c.sendPending[h]
 		if r == nil {
 			return // duplicate/late CTS: ignore
 		}
 		delete(c.sendPending, h)
-		c.injectLocked(fabric.Packet{Dst: pkt.Src, Op: opRData, T0: uint64(recvH), Data: r.buf})
+		c.injectLocked(fabric.Packet{Dst: src, Op: opRData, T0: uint64(recvH), Data: r.buf})
 		r.status = Status{Source: c.rank, Tag: r.tag, Count: len(r.buf)}
 		r.done.Store(true)
 	case opRData:
 		h := uint32(pkt.T0)
 		r := c.recvPending[h]
 		if r == nil {
+			pkt.Release()
 			return
 		}
 		delete(c.recvPending, h)
 		// Source and Tag were recorded at match time (they may have come
 		// from wildcards); only the byte count is new here.
 		r.status.Count = copy(r.buf, pkt.Data)
+		pkt.Release()
 		r.done.Store(true)
 	}
 }
@@ -493,6 +504,7 @@ func (c *Comm) findPostedLocked(src, tag int) *Request {
 func (c *Comm) matchInboundLocked(r *Request, ib inbound) {
 	if !ib.rts {
 		n := copy(r.buf, ib.pkt.Data)
+		ib.pkt.Release()
 		r.status = Status{Source: ib.src, Tag: ib.tag, Count: n}
 		r.done.Store(true)
 		return
@@ -502,5 +514,6 @@ func (c *Comm) matchInboundLocked(r *Request, ib inbound) {
 	r.status = Status{Source: ib.src, Tag: ib.tag}
 	c.recvPending[h] = r
 	sendH := uint32(ib.pkt.T1 >> 32)
+	ib.pkt.Release()
 	c.injectLocked(fabric.Packet{Dst: ib.src, Op: opCTS, T0: uint64(sendH), T1: uint64(h)})
 }
