@@ -2,14 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check bench bench-quick bench-fabric fuzz examples experiments clean
+.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver fuzz examples experiments clean
 
 all: build vet test
 
 # The full gate: build, vet, formatting, tests, and the race detector over
 # the concurrency-heavy packages (communication libraries, fabric ARQ,
 # parcelports).
-check: build vet fmt-check test race
+check: build vet fmt-check test race alloc-gate
+
+# The receiver-datapath allocation gate: delivering a warm eager-sized bundle
+# must not allocate (see DESIGN.md §9). Run with -count=1 so a cached pass
+# never masks a regression.
+alloc-gate:
+	$(GO) test ./internal/core/ -run TestDeliverBundleZeroAllocs -count=1
+	$(GO) test ./internal/serialization/ -run TestDecodeIntoSteadyStateAllocs -count=1
 
 build:
 	$(GO) build ./...
@@ -27,7 +34,7 @@ test:
 	$(GO) test ./... -timeout 900s
 
 race:
-	$(GO) test -race ./internal/lci/... ./internal/mpisim/... ./internal/fabric/... ./internal/parcelport/... -timeout 1800s
+	$(GO) test -race ./internal/lci/... ./internal/mpisim/... ./internal/fabric/... ./internal/parcelport/... ./internal/amt/... ./internal/core/... -timeout 1800s
 
 bench:
 	$(GO) test -bench=. -benchmem ./... -timeout 3600s
@@ -37,6 +44,13 @@ bench:
 # (see results/fabric-datapath.txt for recorded before/after numbers).
 bench-fabric:
 	$(GO) test -bench 'BenchmarkInjectPoll|BenchmarkPoll' -benchmem ./internal/fabric/ -timeout 1800s
+
+# Receiver datapath microbenchmarks: bundled-message delivery (decode +
+# dispatch + spawn + execute) and batched task spawn (see
+# results/receiver-datapath.txt for recorded before/after numbers).
+bench-deliver:
+	$(GO) test -bench BenchmarkDeliverBundle -benchmem ./internal/core/ -timeout 1800s
+	$(GO) test -bench BenchmarkSpawnBatch -benchmem ./internal/amt/ -timeout 1800s
 
 # Quick A/B of the 64 B message-rate benchmark with the sender-side
 # aggregation layer off and on.

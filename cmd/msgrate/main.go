@@ -51,6 +51,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 	blockprofile := flag.String("blockprofile", "", "write a blocking profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -73,6 +74,12 @@ func main() {
 	if *blockprofile != "" {
 		runtime.SetBlockProfileRate(1)
 		defer writeProfile("block", *blockprofile)
+	}
+	if *memprofile != "" {
+		defer func() {
+			runtime.GC() // settle live-heap statistics before the dump
+			writeProfile("heap", *memprofile)
+		}()
 	}
 
 	params := bench.MsgRateParams{

@@ -42,6 +42,9 @@ type Config struct {
 	// IdleSpins is the number of fruitless iterations before napping.
 	// Default 64.
 	IdleSpins int
+	// MaxIdleRunners bounds the parked task-runner cache across all shards
+	// plus the overflow. Default DefaultMaxIdleRunners.
+	MaxIdleRunners int
 	// Name labels the scheduler in errors (typically "locality-N").
 	Name string
 }
@@ -56,6 +59,9 @@ func (c *Config) fillDefaults() {
 	if c.IdleSpins <= 0 {
 		c.IdleSpins = 64
 	}
+	if c.MaxIdleRunners <= 0 {
+		c.MaxIdleRunners = DefaultMaxIdleRunners
+	}
 }
 
 // Scheduler runs tasks and drives parcelport background work.
@@ -68,9 +74,16 @@ type Scheduler struct {
 	completed atomic.Int64
 
 	// Parked task-runner goroutines, recycled between tasks (LIFO so the
-	// hottest stack is reused first). See Spawn.
-	runnerMu    sync.Mutex
-	idleRunners []chan func()
+	// hottest stack is reused first), sharded per worker so concurrent
+	// spawners and parkers do not serialize on one lock. Runners that find
+	// their home shard full spill into the overflow shard. See Spawn.
+	shards      []runnerShard
+	overflow    runnerShard
+	shardCap    int          // parked runners allowed per shard
+	overflowCap int          // parked runners allowed in overflow
+	idleCount   atomic.Int64 // parked runners across all shards (approximate)
+	spawnCur    atomic.Uint32
+	parkCur     atomic.Uint32
 
 	stopFlag  atomic.Bool
 	wg        sync.WaitGroup
@@ -79,14 +92,22 @@ type Scheduler struct {
 	started   atomic.Bool
 }
 
-// maxIdleRunners bounds the parked task-runner cache. Beyond this, finished
-// runners simply exit; a burst larger than the cache still runs every task
-// on its own (freshly spawned) goroutine. Sized to absorb a benchmark-scale
-// injection burst: the steady-state population tracks the largest task burst
-// seen, and a parked runner costs one small stack, so the worst case is a
-// few MB per locality. Too small a cache churns goroutines — every burst
-// beyond it pays a stack allocation per task again.
-const maxIdleRunners = 4096
+// runnerShard is one stack of parked task runners. Padded so shards sit on
+// separate cache lines.
+type runnerShard struct {
+	mu   sync.Mutex
+	idle []chan func()
+	_    [64]byte
+}
+
+// DefaultMaxIdleRunners bounds the parked task-runner cache. Beyond this,
+// finished runners simply exit; a burst larger than the cache still runs
+// every task on its own (freshly spawned) goroutine. Sized to absorb a
+// benchmark-scale injection burst: the steady-state population tracks the
+// largest task burst seen, and a parked runner costs one small stack, so the
+// worst case is a few MB per locality. Too small a cache churns goroutines —
+// every burst beyond it pays a stack allocation per task again.
+const DefaultMaxIdleRunners = 4096
 
 type dedicated struct {
 	name     string
@@ -101,7 +122,20 @@ func (d *dedicated) halt() { d.stopOnce.Do(func() { close(d.stop) }) }
 // New creates a scheduler. Call Start to launch the workers.
 func New(cfg Config) *Scheduler {
 	cfg.fillDefaults()
-	return &Scheduler{cfg: cfg}
+	s := &Scheduler{cfg: cfg}
+	// One runner shard per worker; half the cache lives in the shards, the
+	// other half in the shared overflow, summing to cfg.MaxIdleRunners.
+	n := cfg.Workers
+	s.shards = make([]runnerShard, n)
+	s.shardCap = cfg.MaxIdleRunners / (2 * n)
+	if s.shardCap < 1 {
+		s.shardCap = 1
+	}
+	s.overflowCap = cfg.MaxIdleRunners - s.shardCap*n
+	if s.overflowCap < 0 {
+		s.overflowCap = 0
+	}
+	return s
 }
 
 // Name returns the configured scheduler name.
@@ -142,39 +176,167 @@ func (s *Scheduler) Start() error {
 // task, mirroring HPX's thread-object reuse.
 func (s *Scheduler) Spawn(task func()) {
 	s.spawned.Add(1)
-	s.runnerMu.Lock()
-	if n := len(s.idleRunners); n > 0 {
-		rc := s.idleRunners[n-1]
-		s.idleRunners = s.idleRunners[:n-1]
-		s.runnerMu.Unlock()
+	if rc := s.popRunner(); rc != nil {
 		rc <- task
 		return
 	}
-	s.runnerMu.Unlock()
-	go s.runTasks(task)
+	go s.runTasks(task, s.nextHome())
+}
+
+// SpawnBatch schedules every task of a batch, visiting each runner-shard
+// lock at most once: a decoded bundle of N parcels pays O(shards) lock
+// acquisitions instead of N. Tasks beyond the parked-runner supply run on
+// fresh goroutines. The batch slice itself is not retained — the caller may
+// reuse it immediately.
+func (s *Scheduler) SpawnBatch(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	s.spawned.Add(int64(len(tasks)))
+	i := 0
+	if s.idleCount.Load() > 0 {
+		n := len(s.shards)
+		start := int(s.spawnCur.Add(1))
+		for si := 0; si < n && i < len(tasks); si++ {
+			sh := &s.shards[(start+si)%n]
+			sh.mu.Lock()
+			for k := len(sh.idle); k > 0 && i < len(tasks); k-- {
+				rc := sh.idle[k-1]
+				sh.idle[k-1] = nil
+				sh.idle = sh.idle[:k-1]
+				s.idleCount.Add(-1)
+				// The buffered handoff of a parked runner is empty, so this
+				// send never blocks under the shard lock.
+				rc <- tasks[i]
+				i++
+			}
+			sh.mu.Unlock()
+		}
+		if i < len(tasks) {
+			o := &s.overflow
+			o.mu.Lock()
+			for k := len(o.idle); k > 0 && i < len(tasks); k-- {
+				rc := o.idle[k-1]
+				o.idle[k-1] = nil
+				o.idle = o.idle[:k-1]
+				s.idleCount.Add(-1)
+				rc <- tasks[i]
+				i++
+			}
+			o.mu.Unlock()
+		}
+	}
+	for ; i < len(tasks); i++ {
+		go s.runTasks(tasks[i], s.nextHome())
+	}
+}
+
+// popRunner takes a parked runner, scanning the shards from a rotating
+// cursor and then the overflow. Returns nil when none is parked. The
+// idleCount probe keeps a spawn during a task backlog — when the cache is
+// empty because runners never get to park — at one atomic load instead of a
+// lock acquisition per shard.
+func (s *Scheduler) popRunner() chan func() {
+	if s.idleCount.Load() <= 0 {
+		return nil
+	}
+	n := len(s.shards)
+	start := int(s.spawnCur.Add(1))
+	for i := 0; i < n; i++ {
+		sh := &s.shards[(start+i)%n]
+		sh.mu.Lock()
+		if k := len(sh.idle); k > 0 {
+			rc := sh.idle[k-1]
+			sh.idle[k-1] = nil
+			sh.idle = sh.idle[:k-1]
+			s.idleCount.Add(-1)
+			sh.mu.Unlock()
+			return rc
+		}
+		sh.mu.Unlock()
+	}
+	o := &s.overflow
+	o.mu.Lock()
+	if k := len(o.idle); k > 0 {
+		rc := o.idle[k-1]
+		o.idle[k-1] = nil
+		o.idle = o.idle[:k-1]
+		s.idleCount.Add(-1)
+		o.mu.Unlock()
+		return rc
+	}
+	o.mu.Unlock()
+	return nil
+}
+
+// nextHome assigns a home shard to a fresh runner round-robin.
+func (s *Scheduler) nextHome() int {
+	return int(s.parkCur.Add(1)) % len(s.shards)
 }
 
 // runTasks executes task, then parks in the idle-runner cache waiting for
 // the next one, until the cache is full or the scheduler stops. The handoff
 // channel is buffered so a spawner that pops this runner never blocks even
 // if the runner has not reached its receive yet.
-func (s *Scheduler) runTasks(task func()) {
+func (s *Scheduler) runTasks(task func(), home int) {
 	rc := make(chan func(), 1)
 	for {
 		task()
 		s.completed.Add(1)
-		s.runnerMu.Lock()
-		if s.stopFlag.Load() || len(s.idleRunners) >= maxIdleRunners {
-			s.runnerMu.Unlock()
+		if !s.parkRunner(rc, home) {
 			return
 		}
-		s.idleRunners = append(s.idleRunners, rc)
-		s.runnerMu.Unlock()
 		var ok bool
 		if task, ok = <-rc; !ok {
 			return
 		}
 	}
+}
+
+// parkRunner parks rc on its home shard, spilling to the overflow when the
+// shard is full. Returns false (runner must exit) when both are full or the
+// scheduler is stopping. The stop flag is checked under each lock so a
+// runner can never park after Stop's drain passed its shard (see Stop).
+func (s *Scheduler) parkRunner(rc chan func(), home int) bool {
+	sh := &s.shards[home]
+	sh.mu.Lock()
+	if s.stopFlag.Load() {
+		sh.mu.Unlock()
+		return false
+	}
+	if len(sh.idle) < s.shardCap {
+		sh.idle = append(sh.idle, rc)
+		s.idleCount.Add(1)
+		sh.mu.Unlock()
+		return true
+	}
+	sh.mu.Unlock()
+	o := &s.overflow
+	o.mu.Lock()
+	if s.stopFlag.Load() || len(o.idle) >= s.overflowCap {
+		o.mu.Unlock()
+		return false
+	}
+	o.idle = append(o.idle, rc)
+	s.idleCount.Add(1)
+	o.mu.Unlock()
+	return true
+}
+
+// IdleRunners returns the number of parked task runners across all shards
+// and the overflow (diagnostics and tests).
+func (s *Scheduler) IdleRunners() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.idle)
+		sh.mu.Unlock()
+	}
+	s.overflow.mu.Lock()
+	n += len(s.overflow.idle)
+	s.overflow.mu.Unlock()
+	return n
 }
 
 // Pending returns the number of spawned-but-unfinished tasks.
@@ -305,12 +467,22 @@ func (s *Scheduler) Stop() {
 		s.wg.Wait()
 	}
 	// Release parked task runners. stopFlag is already set, so any runner
-	// finishing a task after this drain sees it (under runnerMu) and exits
-	// instead of re-parking: no goroutine is left blocked forever.
-	s.runnerMu.Lock()
-	idle := s.idleRunners
-	s.idleRunners = nil
-	s.runnerMu.Unlock()
+	// finishing a task after this drain sees it (under its shard lock) and
+	// exits instead of re-parking: no goroutine is left blocked forever.
+	var idle []chan func()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		idle = append(idle, sh.idle...)
+		s.idleCount.Add(-int64(len(sh.idle)))
+		sh.idle = nil
+		sh.mu.Unlock()
+	}
+	s.overflow.mu.Lock()
+	idle = append(idle, s.overflow.idle...)
+	s.idleCount.Add(-int64(len(s.overflow.idle)))
+	s.overflow.idle = nil
+	s.overflow.mu.Unlock()
 	for _, rc := range idle {
 		close(rc)
 	}

@@ -140,6 +140,11 @@ type Runtime struct {
 	byID   []ActionFunc
 	names  []string
 
+	// actionTab is the immutable snapshot of byID published at Start: the
+	// registry is sealed then, so per-parcel dispatch reads one atomic
+	// pointer instead of taking regMu.
+	actionTab atomic.Pointer[[]ActionFunc]
+
 	started atomic.Bool
 	stopped atomic.Bool
 }
@@ -300,8 +305,17 @@ func (rt *Runtime) ActionID(name string) (uint32, bool) {
 	return id, ok
 }
 
-// action returns the handler for an id, or nil.
+// action returns the handler for an id, or nil. After Start it is lock-free
+// (one atomic load of the sealed table); before Start it falls back to the
+// registration lock.
 func (rt *Runtime) action(id uint32) ActionFunc {
+	if tab := rt.actionTab.Load(); tab != nil {
+		t := *tab
+		if int(id) >= len(t) {
+			return nil
+		}
+		return t[id]
+	}
 	rt.regMu.RLock()
 	defer rt.regMu.RUnlock()
 	if int(id) >= len(rt.byID) {
@@ -315,6 +329,12 @@ func (rt *Runtime) Start() error {
 	if !rt.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("core: runtime already started")
 	}
+	// The registry is sealed now (RegisterAction rejects once started):
+	// publish the immutable action table for lock-free dispatch.
+	rt.regMu.RLock()
+	tab := append([]ActionFunc(nil), rt.byID...)
+	rt.regMu.RUnlock()
+	rt.actionTab.Store(&tab)
 	for _, loc := range rt.locs {
 		loc := loc
 		if err := loc.pp.Start(loc.deliver); err != nil {
@@ -434,6 +454,11 @@ type Locality struct {
 
 	nextReapNs      atomic.Int64 // rate-gates the continuation reaper
 	parcelsExecuted atomic.Uint64
+	decodeErrors    atomic.Uint64
+
+	// delivPool recycles delivery contexts (parcel slab + task slots) so the
+	// steady-state receive path allocates nothing. See deliver.
+	delivPool sync.Pool
 }
 
 // ID returns the locality id (the MPI-rank analogue).
@@ -447,6 +472,10 @@ func (l *Locality) ParcelLayer() *parcel.Layer { return l.layer }
 
 // ParcelsExecuted counts action invocations that arrived via parcels.
 func (l *Locality) ParcelsExecuted() uint64 { return l.parcelsExecuted.Load() }
+
+// DecodeErrors counts received messages dropped because they failed to
+// decode (protocol corruption).
+func (l *Locality) DecodeErrors() uint64 { return l.decodeErrors.Load() }
 
 // PendingContinuations reports Call futures still awaiting their remote
 // results. A steadily growing value means calls are timing out (their table
@@ -597,30 +626,163 @@ func (l *Locality) reapDeadContinuations() bool {
 	return len(victims) > 0
 }
 
-// deliver is the parcelport's delivery callback: decode the HPX message and
-// spawn one task per parcel.
+// delivery is the pooled receive context of one HPX message: the parcel
+// slab the message decodes into, one reusable task slot per parcel (with a
+// pre-bound spawn closure, so per-parcel spawning allocates nothing), and
+// the message's buffer owner, released when the last task finishes. A
+// delivery returns to its locality's pool only at refcount zero, so the
+// pooled network buffers the decoded args alias stay valid for exactly as
+// long as any task can read them.
+type delivery struct {
+	l     *Locality
+	buf   serialization.DecodeBuf
+	owner serialization.RecvOwner
+	refs  atomic.Int32
+	tasks []*parcelTask // pointer-stable reusable slots
+	runs  []func()      // scratch batch handed to SpawnBatch
+}
+
+// parcelTask is one parcel's reusable spawn slot. run is the method value
+// bound to exec, created once per slot and reused for every message.
+type parcelTask struct {
+	d   *delivery
+	p   *serialization.Parcel
+	fn  ActionFunc
+	run func()
+}
+
+// task returns slot i, growing the slot list on first use.
+func (d *delivery) task(i int) *parcelTask {
+	for len(d.tasks) <= i {
+		t := &parcelTask{}
+		t.run = t.exec
+		d.tasks = append(d.tasks, t)
+	}
+	return d.tasks[i]
+}
+
+// exec runs one parcel's action, then drops the delivery reference.
+func (t *parcelTask) exec() {
+	d := t.d
+	l := d.l
+	p := t.p
+	fn := t.fn
+	t.d, t.p, t.fn = nil, nil, nil
+	l.parcelsExecuted.Add(1)
+	l.rt.tracer.Emit("action", "run", int64(p.Action))
+	if p.Action == continuationAction {
+		// runContinuation publishes args[1:] to the Call future, which the
+		// caller reads after this task is gone while the parcel slab is
+		// recycled: detach the arg headers from the slab, and copy inline
+		// bytes out of pooled receive buffers. Args at or above the
+		// zero-copy threshold are zero-copy chunks — plain GC buffers,
+		// never pooled — and stay aliased.
+		p.Args = append(make([][]byte, 0, len(p.Args)), p.Args...)
+		if d.owner != nil {
+			sanitizeInlineArgs(p.Args, l.rt.cfg.ZeroCopyThreshold)
+		}
+	}
+	results := fn(l, p.Args)
+	if p.ContID != 0 {
+		var idBuf [8]byte
+		binary.LittleEndian.PutUint64(idBuf[:], p.ContID)
+		args := append([][]byte{idBuf[:]}, results...)
+		if d.owner != nil {
+			// The reply parcel may be queued and encoded after this task
+			// returns (connection-cache backpressure defers the encode), so
+			// results that alias the delivered message — an echo action
+			// returning its args — must not point into buffers about to be
+			// recycled.
+			sanitizeInlineArgs(args[1:], l.rt.cfg.ZeroCopyThreshold)
+		}
+		_ = l.ApplyID(p.Source, continuationAction, args)
+	}
+	d.unref()
+}
+
+// sanitizeInlineArgs replaces every arg shorter than the zero-copy threshold
+// with a garbage-collected copy (one shared backing array). Args at or above
+// the threshold are zero-copy chunk buffers, which the receive path never
+// pools, so they are safe to alias indefinitely.
+func sanitizeInlineArgs(args [][]byte, zcThreshold int) {
+	total := 0
+	for _, a := range args {
+		if len(a) > 0 && len(a) < zcThreshold {
+			total += len(a)
+		}
+	}
+	if total == 0 {
+		return
+	}
+	backing := make([]byte, 0, total)
+	for i, a := range args {
+		if len(a) > 0 && len(a) < zcThreshold {
+			backing = append(backing, a...)
+			args[i] = backing[len(backing)-len(a) : len(backing) : len(backing)]
+		}
+	}
+}
+
+// unref drops one task reference; the last one releases the message buffers
+// and recycles the delivery context.
+func (d *delivery) unref() {
+	if d.refs.Add(-1) > 0 {
+		return
+	}
+	if d.owner != nil {
+		d.owner.Release()
+		d.owner = nil
+	}
+	d.l.delivPool.Put(d)
+}
+
+// deliver is the parcelport's delivery callback: decode the HPX message
+// into a pooled parcel slab and batch-spawn one task per parcel. In steady
+// state the whole path — decode, dispatch, spawn, execute, buffer recycle —
+// performs zero allocations (enforced by TestDeliverBundleZeroAllocs).
 func (l *Locality) deliver(m *serialization.Message) {
-	parcels, err := serialization.Decode(m)
+	d, _ := l.delivPool.Get().(*delivery)
+	if d == nil {
+		d = &delivery{l: l}
+	}
+	parcels, err := serialization.DecodeInto(&d.buf, m)
 	if err != nil {
-		return // corrupted message: drop (protocol bug surfaced by tests)
+		// Corrupted message: count it, drop it, and still release its pooled
+		// buffers so they return to their pools instead of leaking.
+		l.decodeErrors.Add(1)
+		l.rt.tracer.Emit("parcel", "decode-error", int64(l.id))
+		if m.Owner != nil {
+			m.Owner.Release()
+		}
+		l.delivPool.Put(d)
+		return
 	}
 	l.rt.tracer.Emit("parcel", "deliver", int64(len(parcels)))
-	for _, p := range parcels {
-		p := p
+	d.owner = m.Owner
+	runs := d.runs[:0]
+	n := 0
+	for i := range parcels {
+		p := &parcels[i]
 		fn := l.rt.action(p.Action)
 		if fn == nil {
 			continue
 		}
-		l.sched.Spawn(func() {
-			l.parcelsExecuted.Add(1)
-			l.rt.tracer.Emit("action", "run", int64(p.Action))
-			results := fn(l, p.Args)
-			if p.ContID != 0 {
-				var idBuf [8]byte
-				binary.LittleEndian.PutUint64(idBuf[:], p.ContID)
-				args := append([][]byte{idBuf[:]}, results...)
-				_ = l.ApplyID(p.Source, continuationAction, args)
-			}
-		})
+		t := d.task(n)
+		t.d, t.p, t.fn = d, p, fn
+		runs = append(runs, t.run)
+		n++
 	}
+	d.runs = runs
+	if n == 0 {
+		if d.owner != nil {
+			d.owner.Release()
+			d.owner = nil
+		}
+		l.delivPool.Put(d)
+		return
+	}
+	d.refs.Store(int32(n))
+	// d must not be touched after SpawnBatch: the tasks own it now and the
+	// last to finish recycles it.
+	l.sched.SpawnBatch(runs)
 }

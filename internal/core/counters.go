@@ -20,8 +20,8 @@ func (rt *Runtime) StatsText() string {
 	for i, loc := range rt.locs {
 		fmt.Fprintf(&b, "locality %d:\n", i)
 		ls := loc.layer.Stats()
-		fmt.Fprintf(&b, "  parcels sent %d in %d messages (%d aggregated, %d cache-exhausted), actions run %d\n",
-			ls.ParcelsSent, ls.MessagesSent, ls.AggregatedSends, ls.CacheExhausted, loc.ParcelsExecuted())
+		fmt.Fprintf(&b, "  parcels sent %d in %d messages (%d aggregated, %d cache-exhausted), actions run %d, decode errors %d\n",
+			ls.ParcelsSent, ls.MessagesSent, ls.AggregatedSends, ls.CacheExhausted, loc.ParcelsExecuted(), loc.DecodeErrors())
 		pport := loc.pp
 		if agg, ok := pport.(*parcelport.Aggregator); ok {
 			as := agg.Stats()

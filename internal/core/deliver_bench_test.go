@@ -1,0 +1,77 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"hpxgo/internal/serialization"
+)
+
+// benchBundle encodes one eager-sized bundle of n small parcels addressed to
+// locality 0, the shape the aggregation layer produces for fine-grained
+// traffic.
+func benchBundle(n, argBytes int, action uint32) *serialization.Message {
+	arg := make([]byte, argBytes)
+	for i := range arg {
+		arg[i] = byte(i)
+	}
+	ps := make([]*serialization.Parcel, n)
+	for i := range ps {
+		ps[i] = &serialization.Parcel{Source: 1, Dest: 0, Action: action, Args: [][]byte{arg}}
+	}
+	return serialization.Encode(ps, 0)
+}
+
+// BenchmarkDeliverBundle measures the receiver datapath from delivery
+// callback to executed task: decode a bundled message, dispatch every parcel
+// to its action, spawn the tasks and wait for them to finish.
+func BenchmarkDeliverBundle(b *testing.B) {
+	for _, bundle := range []int{1, 8, 32} {
+		b.Run(benchName(bundle), func(b *testing.B) {
+			rt, err := NewRuntime(Config{Localities: 2, WorkersPerLocality: 2, Parcelport: "lci"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ran atomic.Uint64
+			noop := rt.MustRegisterAction("bench_noop", func(*Locality, [][]byte) [][]byte {
+				ran.Add(1)
+				return nil
+			})
+			if err := rt.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Shutdown()
+			l := rt.Locality(0)
+			m := benchBundle(bundle, 64, noop)
+			// Warm the runner cache and any pooled state.
+			for i := 0; i < 4; i++ {
+				l.deliver(m)
+			}
+			for ran.Load() < uint64(4*bundle) {
+				runtime.Gosched()
+			}
+			base := ran.Load()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.deliver(m)
+				base += uint64(bundle)
+				for ran.Load() < base {
+					runtime.Gosched()
+				}
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	switch n {
+	case 1:
+		return "bundle=1"
+	case 8:
+		return "bundle=8"
+	default:
+		return "bundle=32"
+	}
+}

@@ -3,6 +3,8 @@ package lci
 import (
 	"sync"
 	"sync/atomic"
+
+	"hpxgo/internal/fabric"
 )
 
 // CompType classifies a completion record.
@@ -41,6 +43,13 @@ type Request struct {
 	Tag  uint32 // message tag (put: the 32-bit immediate/meta word)
 	Data []byte // recv/put payload (recv: the posted buffer trimmed to size)
 	Ctx  any    // user context given at the posting call
+
+	// Pkt, when non-nil on a CompPut record, is the pooled fabric packet
+	// whose payload Data aliases. Ownership transfers to the consumer: it
+	// must call Pkt.Release once it is done with Data so the packet recycles
+	// to its device pool. A consumer that never releases only forfeits the
+	// recycle — the packet falls to the GC (see the fabric pool protocol).
+	Pkt *fabric.Packet
 }
 
 // Comp is a completion mechanism: something a finished operation signals.

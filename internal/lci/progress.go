@@ -138,12 +138,13 @@ func (d *Device) dispatch(pkt *fabric.Packet) {
 		}
 	case opPut:
 		// Dynamic put: the "LCI runtime" allocates the target buffer. The
-		// fabric already handed us a private copy, so detach and pass it
-		// through — zero additional copies, as in the real implementation.
-		// Detaching is required: the CQ consumer may hold Data indefinitely.
+		// fabric already handed us a private copy, so pass it through — zero
+		// additional copies, as in the real implementation. The packet rides
+		// the completion record so the consumer can recycle it (Release)
+		// when it is done with Data; until then Data stays valid because the
+		// pool never reuses a packet with live references.
 		d.stats.putsRecvd.Add(1)
-		d.putCQ.Push(Request{Type: CompPut, Rank: pkt.Src, Tag: uint32(pkt.T0), Data: pkt.DetachData()})
-		pkt.Release()
+		d.putCQ.Push(Request{Type: CompPut, Rank: pkt.Src, Tag: uint32(pkt.T0), Data: pkt.Data, Pkt: pkt})
 	case opRTS:
 		tag := uint32(pkt.T0)
 		if pr := d.match.arrive(kindLong, pkt, tag); pr != nil {

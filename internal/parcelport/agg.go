@@ -371,12 +371,22 @@ func (a *Aggregator) onDeliver(m *serialization.Message) {
 	// A malformed bundle stops at the corruption point: frames before it
 	// deliver, the rest drop (same policy as a corrupted plain message).
 	// One Message struct serves every frame: delivery decodes synchronously
-	// and retains only the underlying bytes, never the struct.
+	// and retains only the underlying bytes, never the struct. Every frame
+	// aliases the bundle buffer, so each sub-message shares the bundle's
+	// owner: one reference per frame, plus releasing the arrival reference
+	// once all frames are handed off.
+	owner := m.Owner
 	var sub serialization.Message
 	_ = wire.ForEachFrame(m.NonZeroCopy, func(frame []byte) error {
 		a.stats.unbundle.Add(1)
-		sub = serialization.Message{NonZeroCopy: frame}
+		if owner != nil {
+			owner.Retain()
+		}
+		sub = serialization.Message{NonZeroCopy: frame, Owner: owner}
 		a.deliver(&sub)
 		return nil
 	})
+	if owner != nil {
+		owner.Release()
+	}
 }

@@ -39,6 +39,7 @@ type lconn struct {
 
 	// Receiver state.
 	h      parcelport.Header
+	owner  *parcelport.RecvBufs // buffer owner handed to the delivered message
 	trans  []byte
 	nzc    []byte
 	zcBufs [][]byte
@@ -249,13 +250,18 @@ func (c *lconn) advanceSenderLocked() {
 
 // newReceiverConn is created on header arrival; h's piggybacked chunks must
 // not alias a reusable buffer (the caller copies when needed). devIdx is the
-// device the header arrived on; follow-ups use the same device.
-func newReceiverConn(pp *Parcelport, devIdx, src int, h parcelport.Header) *lconn {
-	c := &lconn{pp: pp, dev: pp.devs[devIdx], peer: src, recv: true, h: h, baseTag: h.BaseTag}
+// device the header arrived on; follow-ups use the same device. owner owns
+// the buffers h's chunks alias plus every buffer staged later; it transfers
+// to the delivered message, or is released if the connection fails.
+func newReceiverConn(pp *Parcelport, devIdx, src int, h parcelport.Header, owner *parcelport.RecvBufs) *lconn {
+	c := &lconn{pp: pp, dev: pp.devs[devIdx], peer: src, recv: true, h: h, baseTag: h.BaseTag, owner: owner}
 	c.trans = h.Trans
 	c.nzc = h.NZC
 	if h.TransSize == 0 || c.trans != nil {
 		c.planZC()
+		if c.done {
+			return c
+		}
 		if c.nzc != nil {
 			c.stage = stageZC
 		} else {
@@ -267,6 +273,15 @@ func newReceiverConn(pp *Parcelport, devIdx, src int, h parcelport.Header) *lcon
 	return c
 }
 
+// failRecvLocked abandons a receiver connection, releasing the buffer owner.
+func (c *lconn) failRecvLocked() {
+	c.done = true
+	if c.owner != nil {
+		c.owner.Release()
+		c.owner = nil
+	}
+}
+
 // planZC sizes the zero-copy receive buffers from the transmission chunk.
 func (c *lconn) planZC() {
 	if c.h.NumZC == 0 {
@@ -274,7 +289,7 @@ func (c *lconn) planZC() {
 	}
 	sizes, err := serialization.ParseTransmissionSizes(c.trans)
 	if err != nil || len(sizes) != int(c.h.NumZC) {
-		c.done = true
+		c.failRecvLocked()
 		return
 	}
 	c.zcBufs = make([][]byte, len(sizes))
@@ -312,18 +327,24 @@ func (c *lconn) advanceReceiverLocked() {
 	pp := c.pp
 	switch {
 	case c.stage == stageTrans:
-		c.trans = make([]byte, c.h.TransSize)
+		c.trans = c.owner.GetBuf(int(c.h.TransSize))
 		c.postRecvLocked(c.trans)
 	case c.stage == stageNZC:
-		c.nzc = make([]byte, c.h.NZCSize)
+		c.nzc = c.owner.GetBuf(int(c.h.NZCSize))
 		c.postRecvLocked(c.nzc)
 	case c.stage-stageZC < len(c.zcBufs):
 		c.postRecvLocked(c.zcBufs[c.stage-stageZC])
 	default:
-		m := &serialization.Message{NonZeroCopy: c.nzc, Transmission: c.trans, ZeroCopy: c.zcBufs}
+		// Hand the buffer owner to the message; the delivery chain releases
+		// it once the last parcel's action finished. The zero-copy buffers
+		// are plain GC allocations (they become long-lived arguments), so
+		// they are not owner-tracked.
+		o := c.owner
+		c.owner = nil
+		o.Msg = serialization.Message{NonZeroCopy: c.nzc, Transmission: c.trans, ZeroCopy: c.zcBufs, Owner: o}
 		c.done = true
 		pp.stats.recvd.Add(1)
-		pp.deliver(m)
+		pp.deliver(&o.Msg)
 	}
 }
 
@@ -344,7 +365,7 @@ func (c *lconn) postRecvLocked(buf []byte) {
 		}
 	}
 	if err != nil {
-		c.done = true
+		c.failRecvLocked()
 		return
 	}
 	if reg != nil {

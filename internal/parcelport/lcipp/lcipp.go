@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"hpxgo/internal/amt"
+	"hpxgo/internal/fabric"
 	"hpxgo/internal/lci"
 	"hpxgo/internal/parcelport"
 	"hpxgo/internal/serialization"
@@ -323,8 +324,10 @@ func (pp *Parcelport) dispatch(devIdx int, req lci.Request) {
 	switch {
 	case req.Type == lci.CompPut:
 		// Header message arrival (putsendrecv protocol). Data is the
-		// LCI-allocated buffer: safe to alias.
-		pp.handleHeader(devIdx, req.Rank, req.Data, false)
+		// LCI-allocated buffer: safe to alias. The pooled packet (when the
+		// record carries one) rides along so the delivery chain can recycle
+		// it once the last parcel finished.
+		pp.handleHeader(devIdx, req.Rank, req.Data, false, req.Pkt)
 	case req.Ctx == nil:
 		// Untracked completion (e.g. a medium send that needed none).
 	default:
@@ -337,19 +340,38 @@ func (pp *Parcelport) dispatch(devIdx int, req lci.Request) {
 	}
 }
 
-// handleHeader decodes a header and starts the receiver connection on the
-// device the header arrived on. mustCopy says the piggybacked chunks alias a
-// buffer about to be reused.
-func (pp *Parcelport) handleHeader(devIdx, src int, data []byte, mustCopy bool) {
+// handleHeader decodes a header and hands the message on: fully piggybacked
+// headers (the eager fast path, the common case for small parcels and
+// aggregation bundles) deliver straight from the header buffer with zero
+// copies and zero allocations beyond the pooled owner; anything expecting
+// follow-up chunks starts a receiver connection on the device the header
+// arrived on. mustCopy says the piggybacked chunks alias a buffer about to
+// be reused (the sendrecv wildcard receive buffer). pkt, when non-nil, is
+// the pooled packet the header arrived in; ownership passes to the delivery
+// chain via the message owner.
+func (pp *Parcelport) handleHeader(devIdx, src int, data []byte, mustCopy bool, pkt *fabric.Packet) {
 	h, err := parcelport.DecodeHeader(data)
 	if err != nil {
+		if pkt != nil {
+			pkt.Release()
+		}
 		return // malformed protocol message; drop
 	}
+	owner := parcelport.GetRecvBufs()
 	if mustCopy {
-		h.NZC = cloneBytes(h.NZC)
-		h.Trans = cloneBytes(h.Trans)
+		h.NZC = owner.Clone(h.NZC)
+		h.Trans = owner.Clone(h.Trans)
+	} else if pkt != nil {
+		owner.SetInner(pkt)
 	}
-	c := newReceiverConn(pp, devIdx, src, h)
+	if h.NumZC == 0 && h.NZC != nil && (h.Trans != nil || h.TransSize == 0) {
+		// Everything rode the header: no connection, no follow-up tags.
+		pp.stats.recvd.Add(1)
+		owner.Msg = serialization.Message{NonZeroCopy: h.NZC, Transmission: h.Trans, Owner: owner}
+		pp.deliver(&owner.Msg)
+		return
+	}
+	c := newReceiverConn(pp, devIdx, src, h, owner)
 	c.start()
 }
 
@@ -375,7 +397,7 @@ func (pp *Parcelport) handleHeaderRecv(devIdx int, req lci.Request) {
 	pp.hdrMu.Lock()
 	// req.Data aliases the device's header buffer: hand the header off with
 	// copies, then re-post the receive.
-	pp.handleHeader(devIdx, req.Rank, req.Data, true)
+	pp.handleHeader(devIdx, req.Rank, req.Data, true, nil)
 	if !pp.stopped.Load() {
 		_ = pp.postHeaderRecvLocked(devIdx)
 	}
@@ -484,15 +506,6 @@ func (pp *Parcelport) drainRetries() bool {
 		}
 	}
 	return did
-}
-
-func cloneBytes(b []byte) []byte {
-	if b == nil {
-		return nil
-	}
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
 }
 
 // isRetry reports whether err is the nonblocking-retry signal.

@@ -39,6 +39,7 @@ type connection struct {
 
 	// Receiver state.
 	h       parcelport.Header
+	owner   *parcelport.RecvBufs // buffer owner handed to the delivered message
 	trans   []byte
 	nzc     []byte
 	zcBufs  [][]byte
@@ -189,13 +190,19 @@ func (c *connection) advanceSender() bool {
 // --- receiver ---
 
 // newReceiverConnection is created when a header message arrives. h's
-// piggybacked chunks must already be copied out of the shared header buffer.
-func newReceiverConnection(pp *Parcelport, src int, h parcelport.Header) *connection {
-	c := &connection{pp: pp, kind: receiverConn, peer: src, tag: int(h.BaseTag), h: h}
+// piggybacked chunks must already be copied out of the shared header buffer
+// into owner-tracked storage; owner also owns every buffer staged later and
+// transfers to the delivered message (or is released if the connection
+// fails).
+func newReceiverConnection(pp *Parcelport, src int, h parcelport.Header, owner *parcelport.RecvBufs) *connection {
+	c := &connection{pp: pp, kind: receiverConn, peer: src, tag: int(h.BaseTag), h: h, owner: owner}
 	c.trans = h.Trans
 	c.nzc = h.NZC
 	if h.TransSize == 0 || c.trans != nil {
 		c.planZC()
+		if c.done.Load() {
+			return c
+		}
 		if c.nzc != nil {
 			c.stage = stageZC
 		} else {
@@ -207,6 +214,15 @@ func newReceiverConnection(pp *Parcelport, src int, h parcelport.Header) *connec
 	return c
 }
 
+// failRecv abandons a receiver connection, releasing the buffer owner.
+func (c *connection) failRecv() {
+	c.done.Store(true)
+	if c.owner != nil {
+		c.owner.Release()
+		c.owner = nil
+	}
+}
+
 // planZC sizes the zero-copy receive buffers from the transmission chunk.
 func (c *connection) planZC() {
 	c.planned = true
@@ -216,7 +232,7 @@ func (c *connection) planZC() {
 	sizes, err := serialization.ParseTransmissionSizes(c.trans)
 	if err != nil || len(sizes) != int(c.h.NumZC) {
 		// Protocol corruption; finish the connection to avoid wedging.
-		c.done.Store(true)
+		c.failRecv()
 		return
 	}
 	c.zcBufs = make([][]byte, len(sizes))
@@ -251,21 +267,27 @@ func (c *connection) advanceReceiver() bool {
 	// Post the receive for the current stage, or deliver.
 	switch {
 	case c.stage == stageTrans:
-		c.trans = make([]byte, c.h.TransSize)
+		c.trans = c.owner.GetBuf(int(c.h.TransSize))
 		return c.post(c.trans)
 	case c.stage == stageNZC:
-		c.nzc = make([]byte, c.h.NZCSize)
+		c.nzc = c.owner.GetBuf(int(c.h.NZCSize))
 		return c.post(c.nzc)
 	case c.stage-stageZC < len(c.zcBufs):
 		return c.post(c.zcBufs[c.stage-stageZC])
 	default:
-		m := &serialization.Message{NonZeroCopy: c.nzc, Transmission: c.trans, ZeroCopy: c.zcBufs}
+		// Hand the buffer owner to the message; the delivery chain releases
+		// it once the last parcel's action finished. Zero-copy buffers are
+		// plain GC allocations (they become long-lived arguments) and are
+		// not owner-tracked.
+		o := c.owner
+		c.owner = nil
+		o.Msg = serialization.Message{NonZeroCopy: c.nzc, Transmission: c.trans, ZeroCopy: c.zcBufs, Owner: o}
 		c.pp.stats.recvd.Add(1)
 		if c.pp.cfg.Original {
 			c.pp.sendTagRelease(c.peer, uint32(c.tag))
 		}
 		c.done.Store(true)
-		c.pp.deliver(m)
+		c.pp.deliver(&o.Msg)
 		return false
 	}
 }
@@ -273,7 +295,7 @@ func (c *connection) advanceReceiver() bool {
 func (c *connection) post(buf []byte) bool {
 	r, err := c.pp.comm.Irecv(buf, c.peer, c.tag)
 	if err != nil {
-		c.done.Store(true)
+		c.failRecv()
 		return false
 	}
 	c.cur = r

@@ -225,10 +225,24 @@ func (pp *Parcelport) checkHeader() bool {
 		return true
 	}
 	// The piggybacked chunks alias headerBuf, which the re-posted receive
-	// will overwrite: copy them out.
-	h.NZC = cloneBytes(h.NZC)
-	h.Trans = cloneBytes(h.Trans)
-	c := newReceiverConnection(pp, st.Source, h)
+	// will overwrite: copy them into pooled buffers tracked by a refcounted
+	// owner that the delivery chain releases.
+	owner := parcelport.GetRecvBufs()
+	h.NZC = owner.Clone(h.NZC)
+	h.Trans = owner.Clone(h.Trans)
+	if h.NumZC == 0 && h.NZC != nil && (h.Trans != nil || h.TransSize == 0) {
+		// Everything rode the header: deliver straight from the copies, no
+		// connection, no follow-up receives.
+		pp.stats.recvd.Add(1)
+		if pp.cfg.Original {
+			pp.sendTagRelease(st.Source, h.BaseTag)
+		}
+		owner.Msg = serialization.Message{NonZeroCopy: h.NZC, Transmission: h.Trans, Owner: owner}
+		pp.repostHeaderLocked()
+		pp.deliver(&owner.Msg)
+		return true
+	}
+	c := newReceiverConnection(pp, st.Source, h, owner)
 	pp.repostHeaderLocked()
 	c.start()
 	if !c.finished() {
@@ -359,15 +373,6 @@ func (pp *Parcelport) checkTagRelease() bool {
 		pp.releaseRecv = nil
 	}
 	return true
-}
-
-func cloneBytes(b []byte) []byte {
-	if b == nil {
-		return nil
-	}
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
 }
 
 // tagProvider is the original parcelport's tag source: a lock-protected

@@ -1,0 +1,87 @@
+package parcelport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hpxgo/internal/serialization"
+	"hpxgo/internal/wire"
+)
+
+// RecvBufs is the pooled, refcounted owner of a received message's buffers
+// (serialization.RecvOwner). A transport draws one per arriving message,
+// tracks the wire-pool buffers it stages chunks into (GetBuf/Clone), and
+// optionally chains a transport-level owner such as a pooled lci packet
+// (SetInner). The embedded Msg gives the transport a reusable
+// serialization.Message to deliver, so the per-arrival &Message{} allocation
+// disappears too. The final Release returns every tracked buffer to the wire
+// pool, releases the inner owner, and recycles the RecvBufs itself.
+type RecvBufs struct {
+	refs  atomic.Int32
+	bufs  [][]byte
+	inner serialization.RecvOwner
+
+	// Msg is the delivery message for transports' single-message fast path.
+	// Valid until the final Release.
+	Msg serialization.Message
+}
+
+var recvBufsPool = sync.Pool{New: func() any { return new(RecvBufs) }}
+
+// GetRecvBufs returns a pooled owner holding one reference (the arrival
+// reference the delivery chain releases when done).
+func GetRecvBufs() *RecvBufs {
+	o := recvBufsPool.Get().(*RecvBufs)
+	o.refs.Store(1)
+	return o
+}
+
+// SetInner chains a transport-level owner (e.g. the pooled fabric packet a
+// header arrived in) to be released with the final Release.
+func (o *RecvBufs) SetInner(inner serialization.RecvOwner) { o.inner = inner }
+
+// GetBuf draws an n-byte buffer from the wire pool, owned by o: it returns
+// to the pool on the final Release.
+func (o *RecvBufs) GetBuf(n int) []byte {
+	b := wire.GetBuf(n)
+	o.bufs = append(o.bufs, b)
+	return b
+}
+
+// Clone copies b into an owned pooled buffer (nil in, nil out).
+func (o *RecvBufs) Clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	c := o.GetBuf(len(b))
+	copy(c, b)
+	return c
+}
+
+// Retain adds a reference; each consumer that keeps the message's buffers
+// alive past its callback must pair it with Release.
+func (o *RecvBufs) Retain() { o.refs.Add(1) }
+
+// Release drops one reference; the final release returns the tracked
+// buffers to the wire pool, releases the inner owner and recycles o.
+// Releasing more times than GetRecvBufs+Retain granted panics.
+func (o *RecvBufs) Release() {
+	n := o.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("parcelport: RecvBufs double-release")
+	}
+	for i, b := range o.bufs {
+		wire.PutBuf(b)
+		o.bufs[i] = nil
+	}
+	o.bufs = o.bufs[:0]
+	if o.inner != nil {
+		o.inner.Release()
+		o.inner = nil
+	}
+	o.Msg = serialization.Message{}
+	recvBufsPool.Put(o)
+}

@@ -274,8 +274,13 @@ func (pp *Parcelport) readLoop(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReaderSize(conn, 64*1024)
 	for !pp.stopped.Load() {
-		m, err := readFrame(r)
+		// Each frame's small chunks land in pooled buffers tracked by a
+		// refcounted owner; the delivery chain releases it when the last
+		// parcel's action finished, recycling the buffers.
+		owner := parcelport.GetRecvBufs()
+		m, err := readFrame(r, owner)
 		if err != nil {
+			owner.Release()
 			return
 		}
 		pp.recvd.Add(1)
@@ -315,8 +320,12 @@ func writeFrame(w io.Writer, m *serialization.Message) error {
 	return nil
 }
 
-// readFrame parses one length-prefixed HPX message.
-func readFrame(r io.Reader) (*serialization.Message, error) {
+// readFrame parses one length-prefixed HPX message into owner's reusable
+// message, staging the non-zero-copy and transmission chunks in owner-tracked
+// pooled buffers. On error the caller releases owner, which recycles
+// whatever was staged. Zero-copy chunks are plain GC allocations (they
+// become long-lived arguments) and are not owner-tracked.
+func readFrame(r io.Reader, owner *parcelport.RecvBufs) (*serialization.Message, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -341,22 +350,25 @@ func readFrame(r io.Reader) (*serialization.Message, error) {
 			return nil, fmt.Errorf("tcppp: implausible chunk size")
 		}
 	}
-	m := &serialization.Message{}
-	m.NonZeroCopy = make([]byte, nzcLen)
+	m := &owner.Msg
+	*m = serialization.Message{Owner: owner}
+	m.NonZeroCopy = owner.GetBuf(int(nzcLen))
 	if _, err := io.ReadFull(r, m.NonZeroCopy); err != nil {
 		return nil, err
 	}
 	if transLen > 0 {
-		m.Transmission = make([]byte, transLen)
+		m.Transmission = owner.GetBuf(int(transLen))
 		if _, err := io.ReadFull(r, m.Transmission); err != nil {
 			return nil, err
 		}
 	}
-	m.ZeroCopy = make([][]byte, numZC)
-	for i := range m.ZeroCopy {
-		m.ZeroCopy[i] = make([]byte, zcLens[i])
-		if _, err := io.ReadFull(r, m.ZeroCopy[i]); err != nil {
-			return nil, err
+	if numZC > 0 {
+		m.ZeroCopy = make([][]byte, numZC)
+		for i := range m.ZeroCopy {
+			m.ZeroCopy[i] = make([]byte, zcLens[i])
+			if _, err := io.ReadFull(r, m.ZeroCopy[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return m, nil

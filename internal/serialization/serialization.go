@@ -36,11 +36,28 @@ type Parcel struct {
 	Args   [][]byte
 }
 
+// RecvOwner is the refcounted owner of a received message's buffers. The
+// transport that produced the message holds the initial reference; every
+// consumer that keeps any chunk of the message alive past its callback takes
+// one with Retain and drops it with Release. The final Release returns the
+// buffers (pooled fabric packets, wire-pool bundle buffers) to their pools.
+// *fabric.Packet satisfies it directly.
+type RecvOwner interface {
+	Retain()
+	Release()
+}
+
 // Message is a serialized HPX message as passed to the parcelport layer.
 type Message struct {
 	NonZeroCopy  []byte
 	Transmission []byte   // nil when there are no zero-copy chunks
 	ZeroCopy     [][]byte // large arguments, referenced without copying
+
+	// Owner, when non-nil on a received message, owns the buffers the chunks
+	// alias. The receiver must Release the arrival reference when it is done
+	// with every chunk (and Retain first for any use that outlives its
+	// callback). A nil Owner means the buffers belong to the GC.
+	Owner RecvOwner
 
 	// OnSent, when non-nil, is invoked by the parcelport once the message is
 	// fully transferred and its buffers may be reused (the upper layer uses
@@ -223,10 +240,31 @@ var (
 	ErrChunk     = errors.New("serialization: zero-copy chunk mismatch")
 )
 
-// Decode reconstructs the parcels of a message. Zero-copy arguments alias
-// m.ZeroCopy chunks. It validates chunk counts and lengths against the
-// transmission chunk.
-func Decode(m *Message) ([]*Parcel, error) {
+// DecodeBuf is the reusable backing store of DecodeInto: a parcel slab plus
+// one shared argument array all parcels' Args windows point into. A zero
+// DecodeBuf is ready to use; capacity grows to the largest bundle decoded
+// and is reused afterwards, so steady-state decoding allocates nothing.
+type DecodeBuf struct {
+	parcels []Parcel
+	args    [][]byte
+	spans   []int // prefix offsets into args; len(parcels)+1 entries
+}
+
+// DecodeInto reconstructs the parcels of a message into buf's reused
+// storage. It is Decode without the per-call allocations: the returned slice
+// and every Parcel.Args window alias buf and stay valid only until the next
+// DecodeInto on the same buf. Argument bytes alias m's chunks exactly as
+// with Decode (inline args point into m.NonZeroCopy, zero-copy args into
+// m.ZeroCopy), so the message buffers must outlive any use of the parcels.
+func DecodeInto(buf *DecodeBuf, m *Message) (out []Parcel, err error) {
+	parcels := buf.parcels[:0]
+	args := buf.args[:0]
+	spans := append(buf.spans[:0], 0)
+	// Hand the (possibly grown) storage back to buf on every path so its
+	// capacity is never abandoned.
+	defer func() {
+		buf.parcels, buf.args, buf.spans = parcels, args, spans
+	}()
 	r := reader{bytes: m.NonZeroCopy}
 	magic, err := r.u32()
 	if err != nil {
@@ -270,9 +308,9 @@ func Decode(m *Message) ([]*Parcel, error) {
 	if int64(count)*parcelFixedBytes > int64(r.remaining()) {
 		return nil, fmt.Errorf("%w: %d parcels in %d bytes", ErrTruncated, count, r.remaining())
 	}
-	parcels := make([]*Parcel, 0, count)
 	for pi := uint32(0); pi < count; pi++ {
-		p := &Parcel{}
+		parcels = append(parcels, Parcel{})
+		p := &parcels[len(parcels)-1]
 		if p.Action, err = r.u32(); err != nil {
 			return nil, err
 		}
@@ -296,7 +334,6 @@ func Decode(m *Message) ([]*Parcel, error) {
 		if int64(nargs)*5 > int64(r.remaining()) {
 			return nil, fmt.Errorf("%w: %d args in %d bytes", ErrTruncated, nargs, r.remaining())
 		}
-		p.Args = make([][]byte, nargs)
 		for ai := uint32(0); ai < nargs; ai++ {
 			kind, err := r.b()
 			if err != nil {
@@ -308,10 +345,11 @@ func Decode(m *Message) ([]*Parcel, error) {
 				if err != nil {
 					return nil, err
 				}
-				p.Args[ai], err = r.take(int(n))
+				a, err := r.take(int(n))
 				if err != nil {
 					return nil, err
 				}
+				args = append(args, a)
 			case argZeroCopy:
 				idx, err := r.u32()
 				if err != nil {
@@ -320,14 +358,41 @@ func Decode(m *Message) ([]*Parcel, error) {
 				if int(idx) >= len(m.ZeroCopy) {
 					return nil, fmt.Errorf("%w: reference to chunk %d of %d", ErrChunk, idx, len(m.ZeroCopy))
 				}
-				p.Args[ai] = m.ZeroCopy[idx]
+				args = append(args, m.ZeroCopy[idx])
 			default:
 				return nil, fmt.Errorf("serialization: unknown argument kind %d", kind)
 			}
 		}
-		parcels = append(parcels, p)
+		spans = append(spans, len(args))
+	}
+	// Args windows are assigned in a final pass: appending to args may have
+	// reallocated its backing array mid-decode, which would have invalidated
+	// windows taken earlier.
+	for i := range parcels {
+		s, e := spans[i], spans[i+1]
+		parcels[i].Args = args[s:e:e]
 	}
 	return parcels, nil
+}
+
+// Decode reconstructs the parcels of a message. Zero-copy arguments alias
+// m.ZeroCopy chunks. It validates chunk counts and lengths against the
+// transmission chunk. Allocation-sensitive callers use DecodeInto instead.
+func Decode(m *Message) ([]*Parcel, error) {
+	var buf DecodeBuf
+	ps, err := DecodeInto(&buf, m)
+	if err != nil {
+		return nil, err
+	}
+	// Detach the parcels from buf's shared storage so they have independent
+	// lifetimes, the historical Decode contract.
+	out := make([]*Parcel, len(ps))
+	for i := range ps {
+		p := ps[i]
+		p.Args = append(make([][]byte, 0, len(p.Args)), p.Args...)
+		out[i] = &p
+	}
+	return out, nil
 }
 
 // ParseTransmissionSizes extracts the zero-copy chunk lengths from a

@@ -18,13 +18,25 @@ var poolClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10}
 
 var pools [len(poolClasses)]sync.Pool
 
+// bufBox carries a slice through sync.Pool behind a pointer: putting a bare
+// []byte into a pool boxes its header on every Put, which would make buffer
+// recycle itself allocate. Empty boxes recycle through boxPool, so in steady
+// state a Get/Put cycle performs zero allocations.
+type bufBox struct{ b []byte }
+
+var boxPool = sync.Pool{New: func() any { return new(bufBox) }}
+
 // GetBuf returns a buffer of length n. Contents are unspecified (recycled
 // buffers keep their previous bytes); callers must overwrite what they use.
 func GetBuf(n int) []byte {
 	for i, c := range poolClasses {
 		if n <= c {
 			if v := pools[i].Get(); v != nil {
-				return v.([]byte)[:n]
+				box := v.(*bufBox)
+				b := box.b[:n]
+				box.b = nil
+				boxPool.Put(box)
+				return b
 			}
 			return make([]byte, n, c)
 		}
@@ -39,7 +51,9 @@ func PutBuf(b []byte) {
 	c := cap(b)
 	for i, pc := range poolClasses {
 		if c == pc {
-			pools[i].Put(b[:0:pc])
+			box := boxPool.Get().(*bufBox)
+			box.b = b[:0:pc]
+			pools[i].Put(box)
 			return
 		}
 	}
