@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver fuzz examples experiments clean
+.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver bench-collectives fuzz examples experiments clean
 
 all: build vet test
 
-# The full gate: build, vet, formatting, tests, and the race detector over
-# the concurrency-heavy packages (communication libraries, fabric ARQ,
-# parcelports).
-check: build vet fmt-check test race alloc-gate
+# The full gate: build, vet, formatting, tests, the race detector over the
+# concurrency-heavy packages (communication libraries, fabric ARQ,
+# parcelports), and the collectives perf snapshot.
+check: build vet fmt-check test race alloc-gate bench-collectives
 
 # The receiver-datapath allocation gate: delivering a warm eager-sized bundle
 # must not allocate (see DESIGN.md §9). Run with -count=1 so a cached pass
@@ -44,6 +44,14 @@ bench:
 # (see results/fabric-datapath.txt for recorded before/after numbers).
 bench-fabric:
 	$(GO) test -bench 'BenchmarkInjectPoll|BenchmarkPoll' -benchmem ./internal/fabric/ -timeout 1800s
+
+# Flat-vs-tree collectives latency sweep, emitting the machine-readable
+# BENCH_collectives.json (op, impl, nodes, ns/op, allocs/op, commit) next to
+# the text figure — the perf-trajectory artifact tracked across PRs. Quick
+# scale here keeps `make check` fast; run with -scale full to regenerate the
+# recorded results/ numbers (256 localities).
+bench-collectives:
+	$(GO) run ./cmd/experiments -scale quick -out results collectives
 
 # Receiver datapath microbenchmarks: bundled-message delivery (decode +
 # dispatch + spawn + execute) and batched task spawn (see

@@ -36,7 +36,7 @@ func main() {
 	format := flag.String("format", "text", "figure output format: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick] [-out dir] <target>...\n")
-		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability all\n")
+		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability collectives all\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -61,7 +61,7 @@ func main() {
 			"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 			"fig7", "fig8", "fig9", "fig10", "fig11",
 			"ablation-mpi", "ablation-multidev", "profile", "check", "latency-tails",
-			"reliability",
+			"reliability", "collectives",
 		}
 	}
 	if *format != "text" && *format != "csv" {
@@ -70,7 +70,14 @@ func main() {
 	}
 	for _, target := range targets {
 		start := time.Now()
-		text, err := run(target, sc, *format == "csv")
+		var text string
+		var err error
+		var extra map[string][]byte // side artifacts, written next to the .txt
+		if target == "collectives" {
+			text, extra, err = runCollectives(sc, *scale, *format == "csv")
+		} else {
+			text, err = run(target, sc, *format == "csv")
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", target, err)
 			os.Exit(1)
@@ -87,8 +94,29 @@ func main() {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				os.Exit(1)
 			}
+			for name, data := range extra {
+				if err := os.WriteFile(filepath.Join(*out, name), data, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+			}
 		}
 	}
+}
+
+// runCollectives runs the flat-vs-tree collectives sweep; alongside the text
+// figure it emits BENCH_collectives.json, the machine-readable perf record
+// (op, impl, nodes, ns/op, allocs/op, commit).
+func runCollectives(sc bench.Scale, scaleName string, csv bool) (string, map[string][]byte, error) {
+	text, rep, err := bench.CollectivesText(sc, scaleName, csv)
+	if err != nil {
+		return "", nil, err
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		return "", nil, err
+	}
+	return text, map[string][]byte{"BENCH_collectives.json": js}, nil
 }
 
 // run executes one target at the given scale.

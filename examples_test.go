@@ -25,6 +25,7 @@ func TestExamplesRun(t *testing.T) {
 		{"lcidirect", "rendezvous"},
 		{"graphbfs", "verified: results match"},
 		{"poisson", "verified against the manufactured solution"},
+		{"dfft", "verified: distributed FFT matches the serial reference"},
 	}
 	for _, tc := range cases {
 		tc := tc

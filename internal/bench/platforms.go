@@ -114,6 +114,10 @@ type Scale struct {
 	OctoFields    int
 	OctoLevelExp  int // scaled-down levels (paper: 6 and 5)
 	OctoLevelRost int
+
+	// Collectives scaling (flat vs tree latency sweep).
+	CollNodes []int // simulated locality counts
+	CollIters int   // collectives timed per repetition
 }
 
 // FullScale is used by cmd/experiments: large enough for stable rates on a
@@ -137,6 +141,8 @@ func FullScale() Scale {
 		OctoFields:    4,
 		OctoLevelExp:  3,
 		OctoLevelRost: 2,
+		CollNodes:     []int{8, 16, 32, 64, 128, 256},
+		CollIters:     3,
 	}
 }
 
@@ -157,6 +163,8 @@ func QuickScale() Scale {
 	s.OctoSubgrid = 4
 	s.OctoLevelExp = 2
 	s.OctoLevelRost = 2
+	s.CollNodes = []int{4, 8, 16}
+	s.CollIters = 2
 	return s
 }
 

@@ -145,6 +145,10 @@ type Runtime struct {
 	// pointer instead of taking regMu.
 	actionTab atomic.Pointer[[]ActionFunc]
 
+	// Collectives subsystem (see collectives.go): reserved relay-action ids,
+	// the per-call fold table, and the collective-id allocator.
+	coll collRuntime
+
 	started atomic.Bool
 	stopped atomic.Bool
 }
@@ -174,6 +178,8 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	rt.byID = append(rt.byID, func(*Locality, [][]byte) [][]byte { return nil })
 	rt.names = append(rt.names, barrierActionName)
 	rt.byName[barrierActionName] = uint32(len(rt.byID) - 1)
+	// The tree-collective relay and data-plane actions (collectives.go).
+	rt.registerCollectiveActions()
 
 	switch ppCfg.Transport {
 	case parcelport.TransportMPI:
@@ -198,7 +204,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 
 // buildLocality wires scheduler, parcelport and parcel layer for node i.
 func (rt *Runtime) buildLocality(i int) (*Locality, error) {
-	loc := &Locality{rt: rt, id: i, conts: make(map[uint64]contEntry)}
+	loc := &Locality{rt: rt, id: i, conts: make(map[uint64]contEntry), collBoxes: make(map[uint64]*collBox)}
 	loc.sched = amt.New(amt.Config{
 		Workers:   rt.cfg.WorkersPerLocality,
 		Name:      fmt.Sprintf("locality-%d", i),
@@ -451,6 +457,13 @@ type Locality struct {
 	contMu   sync.Mutex
 	conts    map[uint64]contEntry
 	nextCont atomic.Uint64
+
+	// Collective inboxes buffer unsolicited data-plane messages (all-to-all
+	// blocks, allreduce round partials) that may arrive before this node has
+	// entered the collective. See collectives.go.
+	collMu      sync.Mutex
+	collBoxes   map[uint64]*collBox
+	collSweepNs atomic.Int64
 
 	nextReapNs      atomic.Int64 // rate-gates the continuation reaper
 	parcelsExecuted atomic.Uint64

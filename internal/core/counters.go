@@ -25,9 +25,9 @@ func (rt *Runtime) StatsText() string {
 		pport := loc.pp
 		if agg, ok := pport.(*parcelport.Aggregator); ok {
 			as := agg.Stats()
-			fmt.Fprintf(&b, "  aggregation: %d msgs in %d bundles (+%d direct, %d cold), flushes %d size / %d age / %d cap / %d order, %d unbundled\n",
+			fmt.Fprintf(&b, "  aggregation: %d msgs in %d bundles (+%d direct, %d cold), flushes %d size / %d age / %d cap / %d order / %d stop, %d unbundled\n",
 				as.BundledMessages, as.Bundles, as.DirectSends, as.ColdSends,
-				as.SizeFlushes, as.AgeFlushes, as.CapFlushes, as.OrderFlushes, as.Unbundled)
+				as.SizeFlushes, as.AgeFlushes, as.CapFlushes, as.OrderFlushes, as.StopFlushes, as.Unbundled)
 			pport = agg.Inner()
 		}
 		switch pp := pport.(type) {

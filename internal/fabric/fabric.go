@@ -68,6 +68,14 @@ type Config struct {
 	// PacketOverheadBytes is added to every packet's payload size when
 	// computing transmission time (headers, CRCs, ...).
 	PacketOverheadBytes int
+	// SendGapNs is the per-packet sender occupancy (the LogP model's o/g
+	// term): the NIC doorbell/descriptor cost that serializes one node's
+	// egress across ALL destinations, unlike per-rail bandwidth. This is
+	// what makes a flat fan-out O(N) at its root even on an otherwise
+	// uncontended network. Zero (the default) disables the model; the
+	// collectives scaling sweep enables it to measure fan-out structure in
+	// simulated network time rather than host CPU time.
+	SendGapNs int64
 	// DevicesPerNode replicates the NIC context per node (the "multiple
 	// low-level network contexts" of the paper's §7.2 future work). Device
 	// i of a node delivers only to device i of the destination. Zero
@@ -423,6 +431,10 @@ type Device struct {
 
 	railRR atomic.Uint64 // round-robin rail selector for injection
 
+	// sendFreeNs is when this device's egress next becomes free under the
+	// SendGapNs occupancy model (0 when the model is off).
+	sendFreeNs atomic.Int64
+
 	rel *relState // reliability engine; nil when Config.Reliability is off
 
 	injectedPackets  atomic.Uint64
@@ -607,6 +619,24 @@ func (d *Device) railFor(dst int) *rail {
 	return &dstDev.in[d.node][railIdx]
 }
 
+// reserveSendSlot claims the device's next egress slot under the SendGapNs
+// occupancy model: the packet starts transmitting no earlier than the
+// device's egress is free, and occupies it for g thereafter. Lock-free so
+// concurrent sends to different rails (whose mutexes differ) serialize only
+// on this one atomic.
+func (d *Device) reserveSendSlot(now, g int64) int64 {
+	for {
+		free := d.sendFreeNs.Load()
+		slot := now
+		if free > slot {
+			slot = free
+		}
+		if d.sendFreeNs.CompareAndSwap(free, slot+g) {
+			return slot
+		}
+	}
+}
+
 // enqueue places pkt on rail r under the latency/bandwidth model, with
 // extraNs of additional one-way latency (fault spikes). It never applies
 // backpressure — reliability-layer callers pre-check or deliberately bypass
@@ -623,6 +653,9 @@ func (d *Device) enqueue(r *rail, pkt *Packet, extraNs int64) {
 // unlocking.
 func (d *Device) enqueueLocked(r *rail, pkt *Packet, extraNs int64) {
 	now := d.net.nowNs()
+	if g := d.net.cfg.SendGapNs; g > 0 {
+		now = d.reserveSendSlot(now, g)
+	}
 	xmit := d.net.xmitNs(len(pkt.Data))
 	start := now
 	if r.nextFreeNs > start {

@@ -71,6 +71,7 @@ type AggStats struct {
 	AgeFlushes      uint64 // buffers flushed by FlushDelay (background/progress)
 	CapFlushes      uint64 // buffers flushed by the MaxQueued backpressure cap
 	OrderFlushes    uint64 // buffers flushed ahead of a passthrough message
+	StopFlushes     uint64 // buffers drained by Stop at shutdown
 	Unbundled       uint64 // sub-messages unpacked from received bundles
 }
 
@@ -105,8 +106,8 @@ type Aggregator struct {
 	dests   []*aggDest
 
 	stats struct {
-		bundled, bundles, direct, cold          atomic.Uint64
-		sizeFl, ageFl, capFl, orderFl, unbundle atomic.Uint64
+		bundled, bundles, direct, cold                  atomic.Uint64
+		sizeFl, ageFl, capFl, orderFl, stopFl, unbundle atomic.Uint64
 	}
 }
 
@@ -139,6 +140,7 @@ func (a *Aggregator) Stats() AggStats {
 		AgeFlushes:      a.stats.ageFl.Load(),
 		CapFlushes:      a.stats.capFl.Load(),
 		OrderFlushes:    a.stats.orderFl.Load(),
+		StopFlushes:     a.stats.stopFl.Load(),
 		Unbundled:       a.stats.unbundle.Load(),
 	}
 }
@@ -164,9 +166,12 @@ func (a *Aggregator) Start(deliver DeliverFunc) error {
 }
 
 // Stop flushes every destination buffer and stops the inner parcelport.
+// Shutdown drains credit StopFlushes, not AgeFlushes: the buffers never
+// reached FlushDelay, and folding them into the age counter would pollute
+// the expiry statistics the flush-policy tuning reads.
 func (a *Aggregator) Stop() {
 	for dst := range a.dests {
-		a.flushDest(dst, &a.stats.ageFl)
+		a.flushDest(dst, &a.stats.stopFl)
 	}
 	a.inner.Stop()
 }

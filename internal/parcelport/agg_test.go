@@ -254,6 +254,15 @@ func TestAggregatorStopFlushes(t *testing.T) {
 	if got := len(inner.sends()); got != 2 {
 		t.Fatalf("Stop flushed %d buffers, want 2", got)
 	}
+	// Shutdown drains must credit the dedicated StopFlushes counter, not
+	// AgeFlushes: these buffers never reached their FlushDelay.
+	st := a.Stats()
+	if st.StopFlushes != 2 {
+		t.Fatalf("StopFlushes = %d, want 2", st.StopFlushes)
+	}
+	if st.AgeFlushes != 0 {
+		t.Fatalf("AgeFlushes = %d, want 0 (shutdown drains polluted the age counter)", st.AgeFlushes)
+	}
 }
 
 func TestAggregatorName(t *testing.T) {

@@ -118,8 +118,11 @@ func (s *Series) Add(x, y, yerr float64) {
 
 // PeakY returns the maximum Y across the series' points (0 if empty).
 func (s *Series) PeakY() float64 {
-	var peak float64
-	for _, p := range s.Points {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	peak := s.Points[0].Y
+	for _, p := range s.Points[1:] {
 		if p.Y > peak {
 			peak = p.Y
 		}

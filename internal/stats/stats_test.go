@@ -93,6 +93,30 @@ func TestSeriesAndPeak(t *testing.T) {
 	}
 }
 
+// TestPeakYAllNegative is the regression test for the peak-initialization
+// bug: seeding the scan with 0 made an all-negative series report 0 instead
+// of its (negative) maximum.
+func TestPeakYAllNegative(t *testing.T) {
+	var s Series
+	s.Add(1, -30, 0)
+	s.Add(2, -10, 0)
+	s.Add(3, -20, 0)
+	if got := s.PeakY(); got != -10 {
+		t.Fatalf("all-negative peak = %g, want -10", got)
+	}
+	single := &Series{}
+	single.Add(1, -5, 0)
+	if got := single.PeakY(); got != -5 {
+		t.Fatalf("single-negative peak = %g, want -5", got)
+	}
+	zero := &Series{}
+	zero.Add(1, 0, 0)
+	zero.Add(2, -1, 0)
+	if got := zero.PeakY(); got != 0 {
+		t.Fatalf("zero-peak series = %g, want 0", got)
+	}
+}
+
 func TestFigureRender(t *testing.T) {
 	fig := &Figure{Title: "Test Fig", XLabel: "x", YLabel: "y"}
 	s := fig.AddSeries("series-a")
