@@ -2,21 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver bench-collectives fuzz examples experiments clean
+.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver bench-collectives bench-msgrate bench-autotune bench-gate fuzz examples experiments clean
 
 all: build vet test
 
 # The full gate: build, vet, formatting, tests, the race detector over the
 # concurrency-heavy packages (communication libraries, fabric ARQ,
-# parcelports), and the collectives perf snapshot.
-check: build vet fmt-check test race alloc-gate bench-collectives
+# parcelports), the collectives perf snapshot, and the message-rate
+# regression gate.
+check: build vet fmt-check test race alloc-gate bench-collectives bench-gate
 
 # The receiver-datapath allocation gate: delivering a warm eager-sized bundle
 # must not allocate (see DESIGN.md §9). Run with -count=1 so a cached pass
 # never masks a regression.
 alloc-gate:
-	$(GO) test ./internal/core/ -run TestDeliverBundleZeroAllocs -count=1
+	$(GO) test ./internal/core/ -run 'TestDeliverBundleZeroAllocs|TestCollBoxFastPathZeroAlloc' -count=1
 	$(GO) test ./internal/serialization/ -run TestDecodeIntoSteadyStateAllocs -count=1
+	$(GO) test ./internal/tune/ -run TestSteadyStatePathsZeroAlloc -count=1
 
 build:
 	$(GO) build ./...
@@ -59,6 +61,23 @@ bench-collectives:
 bench-deliver:
 	$(GO) test -bench BenchmarkDeliverBundle -benchmem ./internal/core/ -timeout 1800s
 	$(GO) test -bench BenchmarkSpawnBatch -benchmem ./internal/amt/ -timeout 1800s
+
+# Regenerate the committed message-rate regression baseline
+# (results/BENCH_msgrate.json). Pinned to quick scale — the same scale
+# bench-gate runs at — so the committed rows stay comparable.
+bench-msgrate:
+	$(GO) run ./cmd/experiments -scale quick -out results msgrate-bench
+
+# Adaptive-vs-static acceptance sweep: the self-tuning runtime must match or
+# beat every hand-tuned static config on every workload (within the noise
+# band). Emits results/BENCH_autotune.json and fails on any lost verdict.
+bench-autotune:
+	$(GO) run ./cmd/experiments -scale quick -out results autotune
+
+# Re-measure the gated message-rate rows and compare against the committed
+# baseline; fails on ns/op or allocs/op step regressions.
+bench-gate:
+	$(GO) run ./cmd/experiments -scale quick bench-gate
 
 # Quick A/B of the 64 B message-rate benchmark with the sender-side
 # aggregation layer off and on.

@@ -36,7 +36,7 @@ func main() {
 	format := flag.String("format", "text", "figure output format: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick] [-out dir] <target>...\n")
-		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability collectives all\n")
+		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability collectives autotune msgrate-bench bench-gate all\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -73,9 +73,16 @@ func main() {
 		var text string
 		var err error
 		var extra map[string][]byte // side artifacts, written next to the .txt
-		if target == "collectives" {
+		switch target {
+		case "collectives":
 			text, extra, err = runCollectives(sc, *scale, *format == "csv")
-		} else {
+		case "autotune":
+			text, extra, err = runAutotune(sc, *scale)
+		case "msgrate-bench":
+			text, extra, err = runMsgRateBench(sc, *scale)
+		case "bench-gate":
+			text, err = runBenchGate(sc, *scale)
+		default:
 			text, err = run(target, sc, *format == "csv")
 		}
 		if err != nil {
@@ -117,6 +124,65 @@ func runCollectives(sc bench.Scale, scaleName string, csv bool) (string, map[str
 		return "", nil, err
 	}
 	return text, map[string][]byte{"BENCH_collectives.json": js}, nil
+}
+
+// runAutotune runs the adaptive-vs-static acceptance sweep; alongside the
+// text table it emits BENCH_autotune.json. The target fails if the adaptive
+// runtime loses to any hand-tuned static configuration beyond the noise
+// band.
+func runAutotune(sc bench.Scale, scaleName string) (string, map[string][]byte, error) {
+	rep, err := bench.AutotuneSweep(sc, scaleName)
+	if err != nil {
+		return "", nil, err
+	}
+	text := rep.Text()
+	js, err := rep.JSON()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return "", nil, fmt.Errorf("%w\n%s", err, text)
+	}
+	return text, map[string][]byte{"BENCH_autotune.json": js}, nil
+}
+
+// runMsgRateBench measures the gated message-rate rows and emits
+// BENCH_msgrate.json (the committed baseline bench-gate compares against).
+func runMsgRateBench(sc bench.Scale, scaleName string) (string, map[string][]byte, error) {
+	rep, err := bench.MsgRateBench(sc, scaleName)
+	if err != nil {
+		return "", nil, err
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		return "", nil, err
+	}
+	return rep.Text(), map[string][]byte{"BENCH_msgrate.json": js}, nil
+}
+
+// benchGateArtifact is the committed baseline bench-gate checks against.
+const benchGateArtifact = "results/BENCH_msgrate.json"
+
+// runBenchGate re-measures the gated rows and compares them against the
+// committed artifact, failing on ns/op or allocs/op regression.
+func runBenchGate(sc bench.Scale, scaleName string) (string, error) {
+	data, err := os.ReadFile(benchGateArtifact)
+	if err != nil {
+		return "", fmt.Errorf("bench-gate: %w (run `make bench-msgrate` and commit the artifact)", err)
+	}
+	committed, err := bench.ParseMsgRateReport(data)
+	if err != nil {
+		return "", err
+	}
+	fresh, err := bench.MsgRateBench(sc, scaleName)
+	if err != nil {
+		return "", err
+	}
+	text, err := bench.MsgRateGate(fresh, committed)
+	if err != nil {
+		return "", fmt.Errorf("%w\n%s", err, text)
+	}
+	return text, nil
 }
 
 // run executes one target at the given scale.

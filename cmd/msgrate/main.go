@@ -46,6 +46,7 @@ func main() {
 	spike := flag.Float64("spike", 0, "fault injection: latency spike probability")
 	seed := flag.Int64("faultseed", 1, "fault injection: RNG seed")
 	agg := flag.Bool("agg", false, "enable the sender-side aggregation layer")
+	autotune := flag.Bool("autotune", false, "enable the adaptive control layer (per-peer knobs replace the static ones)")
 	aggsize := flag.Int("aggsize", 0, "aggregation flush size threshold in bytes (0 = default)")
 	aggdelay := flag.Duration("aggdelay", 0, "aggregation flush age deadline (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -85,7 +86,7 @@ func main() {
 	params := bench.MsgRateParams{
 		Size: *size, Batch: *batch, Total: *total, Rate: *rate,
 		Workers: *workers, Fabric: bench.Expanse.Fabric(2),
-		Agg: *agg, AggSize: *aggsize, AggDelay: *aggdelay,
+		Agg: *agg, AggSize: *aggsize, AggDelay: *aggdelay, Autotune: *autotune,
 	}
 	params.Fabric.Reliability = *reliable
 	if *drop != 0 || *dup != 0 || *corrupt != 0 || *spike != 0 {

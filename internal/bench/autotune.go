@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"hpxgo/internal/core"
+)
+
+// Autotune acceptance sweep: the adaptive control layer (internal/tune)
+// against every hand-tuned static configuration, on the three workload
+// shapes the controllers are built for. The claim under test is the
+// tentpole acceptance criterion: on every workload the adaptive runtime
+// matches or beats the best static configuration within noise — because no
+// single static point wins everywhere, while the controllers move each
+// destination to the right point at runtime. The sweep is the source of
+// results/BENCH_autotune.json.
+
+// autotuneNoise is the fraction of the best static rate the adaptive run
+// may fall short by and still pass (run-to-run noise band of the simulated
+// host).
+const autotuneNoise = 0.15
+
+// AutotuneKnobs snapshots the adaptive controller's converged per-peer
+// knobs after a run (evidence the loops actuated).
+type AutotuneKnobs struct {
+	FlushBytes   int    `json:"flush_bytes"`
+	FlushDelayNs int64  `json:"flush_delay_ns"`
+	Bypass       bool   `json:"bypass"`
+	ZCThreshold  int    `json:"zc_threshold"`
+	Ticks        uint64 `json:"ticks"`
+}
+
+// AutotuneRecord is one (workload, config) measurement.
+type AutotuneRecord struct {
+	Workload string         `json:"workload"`
+	Config   string         `json:"config"`
+	MsgRate  float64        `json:"msg_rate"` // messages/second received
+	NsOp     float64        `json:"ns_op"`    // wall ns per delivered message
+	AllocsOp float64        `json:"allocs_op"`
+	Knobs    *AutotuneKnobs `json:"knobs,omitempty"` // adaptive rows only
+}
+
+// AutotuneVerdict is one workload's adaptive-vs-best-static comparison.
+type AutotuneVerdict struct {
+	Workload     string  `json:"workload"`
+	BestStatic   string  `json:"best_static"`
+	BestRate     float64 `json:"best_static_rate"`
+	AdaptiveRate float64 `json:"adaptive_rate"`
+	Ratio        float64 `json:"ratio"` // adaptive / best static
+	Pass         bool    `json:"pass"`  // ratio >= 1 - autotuneNoise
+}
+
+// AutotuneReport is the full sweep plus provenance
+// (results/BENCH_autotune.json).
+type AutotuneReport struct {
+	Commit    string            `json:"commit"`
+	Generated string            `json:"generated"`
+	Scale     string            `json:"scale"`
+	Noise     float64           `json:"noise_tolerance"`
+	Records   []AutotuneRecord  `json:"records"`
+	Verdicts  []AutotuneVerdict `json:"verdicts"`
+}
+
+// autotuneConfig is one column of the sweep.
+type autotuneConfig struct {
+	name     string
+	agg      bool
+	aggSize  int
+	aggDelay time.Duration
+	adaptive bool
+}
+
+// autotuneConfigs: the hand-tuned static points (bundling off, bundling at
+// the default knobs, and the two extreme hand-tunings), plus the adaptive
+// runtime. Every config runs the same send-immediate upper layer.
+func autotuneConfigs() []autotuneConfig {
+	return []autotuneConfig{
+		{name: "static/noagg"},
+		{name: "static/agg-default", agg: true},
+		{name: "static/agg-1KiB-25us", agg: true, aggSize: 1024, aggDelay: 25 * time.Microsecond},
+		{name: "static/agg-16KiB-200us", agg: true, aggSize: 16384, aggDelay: 200 * time.Microsecond},
+		{name: "adaptive", agg: true, adaptive: true},
+	}
+}
+
+// autotuneWorkloads: the row shapes. All run over the reliable fabric (the
+// ARQ supplies the RTT signal the controllers consume) on the baseline
+// send-immediate LCI parcelport.
+func autotuneWorkloads(sc Scale) []struct {
+	name string
+	p    MsgRateParams
+} {
+	fab := Expanse.Fabric(2)
+	fab.Reliability = true
+	coldTotal := sc.Total8B / 10
+	if coldTotal < 100 {
+		coldTotal = 100
+	}
+	return []struct {
+		name string
+		p    MsgRateParams
+	}{
+		// Dense small messages, unlimited rate: the bundling sweet spot.
+		{"hot-peer", MsgRateParams{
+			Size: 64, Batch: 50, Total: sc.Total8B, Fabric: fab, MeasureAllocs: true,
+		}},
+		// Sparse singletons: every buffered message just pays the flush
+		// delay, so send-immediate (or adaptive bypass) should win.
+		{"cold-peer", MsgRateParams{
+			Size: 64, Batch: 1, Total: coldTotal, Rate: 2000, Fabric: fab, MeasureAllocs: true,
+		}},
+		// Mixed sizes spanning the eager/rendezvous boundary.
+		{"mixed-size", MsgRateParams{
+			Sizes: []int{64, 1024, 16384}, Batch: 10, Total: sc.Total8B / 2,
+			Fabric: fab, MeasureAllocs: true,
+		}},
+	}
+}
+
+// AutotuneSweep measures every (workload, config) cell, best-of-reps, and
+// derives the per-workload verdicts.
+func AutotuneSweep(sc Scale, scaleName string) (*AutotuneReport, error) {
+	rep := &AutotuneReport{
+		Commit:    gitCommit(),
+		Generated: time.Now().Format(time.RFC3339),
+		Scale:     scaleName,
+		Noise:     autotuneNoise,
+	}
+	reps := sc.Reps
+	if reps < 3 {
+		reps = 3 // best-of-3 floor: single runs are too noisy to gate on
+	}
+	for _, wl := range autotuneWorkloads(sc) {
+		bestStatic := ""
+		bestRate := 0.0
+		adaptiveRate := 0.0
+		for _, cfg := range autotuneConfigs() {
+			p := wl.p
+			p.Agg = cfg.agg
+			p.AggSize = cfg.aggSize
+			p.AggDelay = cfg.aggDelay
+			p.Autotune = cfg.adaptive
+			var knobs *AutotuneKnobs
+			if cfg.adaptive {
+				p.Inspect = func(rt *core.Runtime) {
+					if ctl := rt.Locality(0).Tuner(); ctl != nil {
+						peer := ctl.Peer(1)
+						knobs = &AutotuneKnobs{
+							FlushBytes:   peer.FlushBytes,
+							FlushDelayNs: peer.FlushDelayNs,
+							Bypass:       peer.Bypass,
+							ZCThreshold:  peer.ZCThreshold,
+							Ticks:        ctl.Ticks(),
+						}
+					}
+				}
+			}
+			best := MsgRateResult{}
+			for r := 0; r < reps; r++ {
+				res, err := MessageRate("lci_i", p)
+				if err != nil {
+					return nil, fmt.Errorf("autotune %s/%s: %w", wl.name, cfg.name, err)
+				}
+				if res.MsgRate > best.MsgRate {
+					best = res
+				}
+			}
+			rec := AutotuneRecord{
+				Workload: wl.name,
+				Config:   cfg.name,
+				MsgRate:  best.MsgRate,
+				AllocsOp: best.AllocsPerMsg,
+				Knobs:    knobs,
+			}
+			if best.MsgRate > 0 {
+				rec.NsOp = 1e9 / best.MsgRate
+			}
+			rep.Records = append(rep.Records, rec)
+			if cfg.adaptive {
+				adaptiveRate = best.MsgRate
+			} else if best.MsgRate > bestRate {
+				bestRate = best.MsgRate
+				bestStatic = cfg.name
+			}
+		}
+		v := AutotuneVerdict{
+			Workload:     wl.name,
+			BestStatic:   bestStatic,
+			BestRate:     bestRate,
+			AdaptiveRate: adaptiveRate,
+		}
+		if bestRate > 0 {
+			v.Ratio = adaptiveRate / bestRate
+		}
+		v.Pass = v.Ratio >= 1-autotuneNoise
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	return rep, nil
+}
+
+// JSON renders the report as the BENCH_autotune.json artifact.
+func (r *AutotuneReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Text renders the sweep as the cmd/experiments "autotune" target output.
+func (r *AutotuneReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# adaptive self-tuning vs hand-tuned static configs (commit %s)\n", r.Commit)
+	fmt.Fprintf(&b, "%-11s %-22s %12s %10s %10s\n", "workload", "config", "msgs/s", "ns/msg", "allocs/msg")
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "%-11s %-22s %12.0f %10.0f %10.2f", rec.Workload, rec.Config, rec.MsgRate, rec.NsOp, rec.AllocsOp)
+		if rec.Knobs != nil {
+			fmt.Fprintf(&b, "   [flush=%dB/%dus bypass=%v zc=%d ticks=%d]",
+				rec.Knobs.FlushBytes, rec.Knobs.FlushDelayNs/1000, rec.Knobs.Bypass,
+				rec.Knobs.ZCThreshold, rec.Knobs.Ticks)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	for _, v := range r.Verdicts {
+		status := "PASS"
+		if !v.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "# %-11s adaptive/best-static = %.2f (best static: %s) [%s]\n",
+			v.Workload, v.Ratio, v.BestStatic, status)
+	}
+	return b.String()
+}
+
+// Err returns a non-nil error if any workload's verdict failed — the
+// acceptance criterion wired into the experiments target.
+func (r *AutotuneReport) Err() error {
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			return fmt.Errorf("autotune: adaptive runtime lost to %s on %s (ratio %.2f < %.2f)",
+				v.BestStatic, v.Workload, v.Ratio, 1-autotuneNoise)
+		}
+	}
+	return nil
+}

@@ -31,6 +31,16 @@ type MsgRateParams struct {
 	AggSize int
 	// AggDelay overrides the aggregation flush age deadline.
 	AggDelay time.Duration
+	// Sizes, when non-empty, round-robins the payload size across the run
+	// (mixed-size workloads); Size is ignored then.
+	Sizes []int
+	// Autotune enables the adaptive control layer (core.Config.Autotune):
+	// the aggregation knobs and zero-copy threshold become per-destination
+	// feedback-controlled values.
+	Autotune bool
+	// MeasureAllocs samples process-wide allocation counters around the
+	// measured section; the per-message delta lands in AllocsPerMsg.
+	MeasureAllocs bool
 	// Inspect, when non-nil, runs against the live runtime after the
 	// measurement completes and before shutdown (profiling hooks).
 	Inspect func(rt *core.Runtime)
@@ -41,6 +51,7 @@ type MsgRateResult struct {
 	AttemptedRate float64 // messages/second requested (0 = unlimited)
 	AchievedInj   float64 // messages/second actually generated
 	MsgRate       float64 // messages/second actually received
+	AllocsPerMsg  float64 // process-wide mallocs per message (MeasureAllocs)
 }
 
 // MessageRate runs the §4.1 microbenchmark under one parcelport
@@ -70,6 +81,7 @@ func MessageRate(ppName string, p MsgRateParams) (MsgRateResult, error) {
 		Aggregation:        p.Agg,
 		AggFlushBytes:      p.AggSize,
 		AggFlushDelay:      p.AggDelay,
+		Autotune:           p.Autotune,
 	})
 	if err != nil {
 		return MsgRateResult{}, err
@@ -96,9 +108,17 @@ func MessageRate(ppName string, p MsgRateParams) (MsgRateResult, error) {
 	}
 
 	sender := rt.Locality(0)
-	payload := make([]byte, p.Size)
-	for i := range payload {
-		payload[i] = byte(i)
+	sizes := p.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{p.Size}
+	}
+	payloadArgs := make([][][]byte, len(sizes))
+	for k, sz := range sizes {
+		payload := make([]byte, sz)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		payloadArgs[k] = [][]byte{payload}
 	}
 
 	var injected atomic.Int64
@@ -107,6 +127,10 @@ func MessageRate(ppName string, p MsgRateParams) (MsgRateResult, error) {
 	// The sender creates tasks at the attempted rate; each task injects one
 	// batch. Task pacing happens on this driver goroutine, like the
 	// benchmark driver thread in the paper's HPX harness.
+	var ms0, ms1 runtime.MemStats
+	if p.MeasureAllocs {
+		runtime.ReadMemStats(&ms0)
+	}
 	start = time.Now()
 	interval := time.Duration(0)
 	if p.Rate > 0 {
@@ -119,9 +143,10 @@ func MessageRate(ppName string, p MsgRateParams) (MsgRateResult, error) {
 				runtime.Gosched()
 			}
 		}
+		base := tIdx * p.Batch
 		sender.Spawn(func() {
 			for b := 0; b < p.Batch; b++ {
-				_ = sender.ApplyID(1, sinkID, [][]byte{payload})
+				_ = sender.ApplyID(1, sinkID, payloadArgs[(base+b)%len(payloadArgs)])
 			}
 			if injected.Add(int64(p.Batch)) == int64(total) {
 				lastInjectAt.Store(int64(time.Since(start)))
@@ -138,12 +163,16 @@ func MessageRate(ppName string, p MsgRateParams) (MsgRateResult, error) {
 		runtime.Gosched()
 	}
 
+	res := MsgRateResult{AttemptedRate: p.Rate}
+	if p.MeasureAllocs {
+		runtime.ReadMemStats(&ms1)
+		res.AllocsPerMsg = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+	}
 	if p.Inspect != nil {
 		p.Inspect(rt)
 	}
 	injNs := lastInjectAt.Load()
 	commNs := doneAt.Load()
-	res := MsgRateResult{AttemptedRate: p.Rate}
 	if injNs > 0 {
 		res.AchievedInj = float64(total) / (float64(injNs) / 1e9)
 	}

@@ -264,6 +264,40 @@ type collBox struct {
 	waiters    map[uint32]chan struct{}
 }
 
+// collWaiterPool recycles wait's one-shot waiter channels. Wakers signal
+// with a non-blocking send into the buffered(1) channel instead of close,
+// so a consumed channel goes straight back to the pool: a collective round
+// parks and wakes without allocating.
+var collWaiterPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+// collTimerPool recycles wait's deadline timers (go>=1.23 Reset/Stop are
+// race-free, so a stopped timer can be rearmed directly).
+var collTimerPool sync.Pool
+
+func getCollTimer(d time.Duration) *time.Timer {
+	if v := collTimerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putCollTimer(t *time.Timer) {
+	t.Stop()
+	collTimerPool.Put(t)
+}
+
+// wakeWaiter signals ch's parked waiter. Each waiter parks at most once per
+// channel and the channel is buffered(1), so the send never blocks; callers
+// hold b.mu, which orders the send against the timeout path's map check.
+func wakeWaiter(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
 // collbox returns (creating if needed) the inbox of collective id.
 func (l *Locality) collbox(id uint64, deadlineNs int64) *collBox {
 	l.maybeSweepCollBoxes(time.Now().UnixNano())
@@ -305,7 +339,7 @@ func (l *Locality) maybeSweepCollBoxes(nowNs int64) {
 		if expired {
 			for k, ch := range b.waiters {
 				delete(b.waiters, k)
-				close(ch)
+				wakeWaiter(ch)
 			}
 			delete(l.collBoxes, id)
 		}
@@ -324,7 +358,7 @@ func (b *collBox) put(key uint32, blobs [][]byte) {
 	b.msgs[key] = blobs
 	if ch := b.waiters[key]; ch != nil {
 		delete(b.waiters, key)
-		close(ch)
+		wakeWaiter(ch)
 	}
 	b.mu.Unlock()
 }
@@ -337,20 +371,31 @@ func (b *collBox) wait(key uint32, deadlineNs int64) ([][]byte, error) {
 		b.mu.Unlock()
 		return m, nil
 	}
-	ch := make(chan struct{})
+	ch := collWaiterPool.Get().(chan struct{})
 	b.waiters[key] = ch
 	b.mu.Unlock()
 
-	t := time.NewTimer(untilNs(deadlineNs))
-	defer t.Stop()
+	t := getCollTimer(untilNs(deadlineNs))
 	select {
 	case <-ch:
+		putCollTimer(t)
+		collWaiterPool.Put(ch) // tick consumed: channel is empty again
 	case <-t.C:
+		putCollTimer(t)
 		b.mu.Lock()
-		delete(b.waiters, key)
+		if b.waiters[key] == ch {
+			// No waker claimed the channel; removing it under b.mu means no
+			// send can happen later (wakers only send while it is mapped).
+			delete(b.waiters, key)
+		} else {
+			// A waker won the race: its send completed before it released
+			// b.mu, so the pending token is there to drain.
+			<-ch
+		}
 		m, ok := b.msgs[key]
 		delete(b.msgs, key)
 		b.mu.Unlock()
+		collWaiterPool.Put(ch)
 		if ok {
 			return m, nil // arrived in the race window
 		}

@@ -29,6 +29,7 @@ import (
 	"hpxgo/internal/parcelport/tcppp"
 	"hpxgo/internal/serialization"
 	"hpxgo/internal/trace"
+	"hpxgo/internal/tune"
 )
 
 // continuationAction is the reserved action id that completes Call futures.
@@ -71,6 +72,13 @@ type Config struct {
 	// AggMaxQueued caps buffered sub-messages per destination; reaching it
 	// forces a flush. Default parcelport.MaxPendingConnections.
 	AggMaxQueued int
+	// Autotune enables the adaptive control layer (internal/tune): the
+	// static aggregation knobs and the zero-copy threshold become per-peer
+	// feedback-controlled values actuated from observed ack RTT, egress
+	// queue depth and packet-pool pressure, and the LCI parcelport scales
+	// its dedicated progress goroutines under load watermarks (pin mode).
+	// The static values above seed the controllers and bound actuation.
+	Autotune bool
 	// Fabric configures the simulated interconnect (Nodes is overwritten
 	// with Localities). Zero value selects fabric.DefaultConfig.
 	Fabric fabric.Config
@@ -226,6 +234,7 @@ func (rt *Runtime) buildLocality(i int) (*Locality, error) {
 			Protocol:          rt.ppCfg.Protocol,
 			Completion:        rt.ppCfg.Completion,
 			Progress:          rt.ppCfg.Progress,
+			AdaptiveProgress:  rt.cfg.Autotune,
 		})
 		if err != nil {
 			return nil, err
@@ -259,7 +268,27 @@ func (rt *Runtime) buildLocality(i int) (*Locality, error) {
 		// buffer instead of through a per-message scratch.
 		loc.layer.SetParcelSender(agg.SendParcel)
 	}
+	if rt.cfg.Autotune {
+		rt.wireAutotune(loc, i)
+	}
 	bg := loc.pp.BackgroundWork
+	if loc.tuner != nil {
+		if _, ok := loc.pp.(*parcelport.Aggregator); !ok {
+			// Without the aggregation layer nothing else drives the
+			// controllers' clock, so fold the rate-gated Tick into
+			// background work (it self-limits to one pass per TickNs).
+			inner := bg
+			start := time.Now()
+			ctl := loc.tuner
+			bg = func(workerID int) bool {
+				did := inner(workerID)
+				if ctl.Tick(int64(time.Since(start))) {
+					did = true
+				}
+				return did
+			}
+		}
+	}
 	if rt.cfg.DeliveryTimeout > 0 || rt.net.Config().Reliability {
 		// Fold the continuation reaper into background work so delivery
 		// timeouts and dead peers are noticed without a dedicated thread.
@@ -274,6 +303,35 @@ func (rt *Runtime) buildLocality(i int) (*Locality, error) {
 		loc.sched.SetBackground(bg)
 	}
 	return loc, nil
+}
+
+// wireAutotune builds locality i's adaptive controller and hooks it into
+// the aggregation and parcel layers. The fabric device behind the transport
+// supplies the RTT and queue-depth signals; the LCI device supplies pool
+// pressure. TCP has no fabric device, so its controllers hold every knob at
+// the static value (the laws only act on live signals).
+func (rt *Runtime) wireAutotune(loc *Locality, i int) {
+	var sig tune.Signals
+	switch rt.ppCfg.Transport {
+	case parcelport.TransportLCI, parcelport.TransportMPI:
+		fdev := rt.net.DeviceN(i, 0)
+		sig.RTTNs = fdev.LinkRTTNs
+		sig.QueueDepth = fdev.EgressQueueDepth
+	}
+	if dev := loc.lciDev; dev != nil {
+		sig.PoolRetries = func() uint64 { return dev.Stats().Retries }
+	}
+	ctl := tune.NewController(tune.Config{
+		Dests:        rt.cfg.Localities,
+		FlushBytes:   rt.cfg.AggFlushBytes,
+		FlushDelayNs: rt.cfg.AggFlushDelay.Nanoseconds(),
+		ZCThreshold:  rt.cfg.ZeroCopyThreshold,
+	}, sig)
+	loc.tuner = ctl
+	if agg, ok := loc.pp.(*parcelport.Aggregator); ok {
+		agg.SetTuner(ctl)
+	}
+	loc.layer.SetTuner(ctl)
 }
 
 // RegisterAction registers fn under name on every locality. Must be called
@@ -395,6 +453,9 @@ func (rt *Runtime) MPIComm(loc int) *mpisim.Comm {
 // runtime does not use the LCI transport.
 func (l *Locality) LCIDevice() *lci.Device { return l.lciDev }
 
+// Tuner exposes the adaptive controller (nil unless Config.Autotune).
+func (l *Locality) Tuner() *tune.Controller { return l.tuner }
+
 // Barrier synchronizes all localities: locality 0 calls a no-op on everyone
 // and waits. Returns false on timeout.
 func (rt *Runtime) Barrier(timeout time.Duration) bool {
@@ -452,7 +513,8 @@ type Locality struct {
 	sched  *amt.Scheduler
 	pp     parcelport.Parcelport
 	layer  *parcel.Layer
-	lciDev *lci.Device // LCI transport only (stats)
+	lciDev *lci.Device      // LCI transport only (stats)
+	tuner  *tune.Controller // Autotune only (adaptive knobs)
 
 	contMu   sync.Mutex
 	conts    map[uint64]contEntry

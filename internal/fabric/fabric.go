@@ -471,6 +471,32 @@ func (d *Device) PeerHealth(dst int) Health {
 	return d.rel.health(dst)
 }
 
+// LinkRTTNs reports the smoothed send→ack round-trip estimate toward dst in
+// nanoseconds, measured by the reliability layer (EWMA, α = 1/8). Zero means
+// no sample yet — reliability off, no traffic, or acks still in flight.
+func (d *Device) LinkRTTNs(dst int) int64 {
+	if d.rel == nil {
+		return 0
+	}
+	return d.rel.rttNs(dst)
+}
+
+// EgressQueueDepth reports the packets this device has queued toward dst
+// that the destination has not yet drained (ring + overflow, all rails).
+// A sustained non-zero depth means the peer's poller is falling behind —
+// the backpressure signal the adaptive tuning layer reads.
+func (d *Device) EgressQueueDepth(dst int) int {
+	if dst < 0 || dst >= len(d.net.devices) {
+		return 0
+	}
+	dstDev := d.net.devices[dst][d.idx]
+	depth := int64(0)
+	for ri := range dstDev.in[d.node] {
+		depth += dstDev.in[d.node][ri].count.Load()
+	}
+	return int(depth)
+}
+
 // Node returns the node id of this device.
 func (d *Device) Node() int { return d.node }
 

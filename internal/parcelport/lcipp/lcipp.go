@@ -36,6 +36,7 @@ import (
 	"hpxgo/internal/lci"
 	"hpxgo/internal/parcelport"
 	"hpxgo/internal/serialization"
+	"hpxgo/internal/tune"
 )
 
 // headerMsgTag is the tag of header messages in the sendrecv protocol.
@@ -52,6 +53,15 @@ type Config struct {
 	Protocol          parcelport.Protocol
 	Completion        parcelport.Completion
 	Progress          parcelport.ProgressMode
+
+	// AdaptiveProgress scales the dedicated progress goroutines (pin mode
+	// only) between load watermarks: a device whose base progress worker
+	// finds work on most passes gains extra dedicated workers, and parks
+	// them again once passes run mostly empty. No effect in mt mode.
+	AdaptiveProgress bool
+	// MaxProgressWorkers caps dedicated progress goroutines per device when
+	// AdaptiveProgress is on (default 3).
+	MaxProgressWorkers int
 }
 
 // headerCtx marks completions of the per-device wildcard header receive.
@@ -100,6 +110,11 @@ type Parcelport struct {
 	// layer's age-based flush, which must not starve while every worker is
 	// busy with tasks).
 	progressHook func() bool
+
+	// scalers (one per device) own the adaptive progress workers; the count
+	// of live dedicated progress goroutines is mirrored in progressWorkers.
+	scalers         []*progScaler
+	progressWorkers atomic.Int64
 
 	stopProgress func()
 	stopped      atomic.Bool
@@ -177,11 +192,17 @@ func (pp *Parcelport) Name() string {
 
 // MaxHeaderSize is the header cap: the zero-copy threshold, further bounded
 // by LCI's eager limit so a header always fits one medium message / packet.
+// Connections stripe across every replicated device, so the binding limit is
+// the smallest eager threshold of any device — consulting only devs[0] would
+// overrun the packet buffers of a device configured with a smaller limit.
 func (pp *Parcelport) MaxHeaderSize() int {
-	if pp.cfg.ZeroCopyThreshold < pp.devs[0].EagerThreshold() {
-		return pp.cfg.ZeroCopyThreshold
+	max := pp.cfg.ZeroCopyThreshold
+	for _, d := range pp.devs {
+		if e := d.EagerThreshold(); e < max {
+			max = e
+		}
 	}
-	return pp.devs[0].EagerThreshold()
+	return max
 }
 
 // Stats returns a snapshot of the counters.
@@ -234,16 +255,95 @@ func (pp *Parcelport) Start(deliver parcelport.DeliverFunc) error {
 					return did
 				}
 			}
+			if pp.cfg.AdaptiveProgress {
+				max := pp.cfg.MaxProgressWorkers
+				if max <= 0 {
+					max = defaultMaxProgressWorkers
+				}
+				ps := &progScaler{pp: pp, dev: i, work: d.Progress, max: max}
+				ps.extra = make([]func(), 0, max-1)
+				pp.scalers = append(pp.scalers, ps)
+				base := work
+				work = func() bool {
+					did := base()
+					ps.observe(did)
+					return did
+				}
+			}
 			stops[i] = pp.sched.StartDedicated(fmt.Sprintf("lci-progress-%d", i), false, work)
+			pp.progressWorkers.Add(1)
 		}
 		pp.stopProgress = func() {
+			// Base workers first: each scaler's extras list is owned by its
+			// base worker's goroutine, so it must quiesce before the extras
+			// are stopped here.
 			for _, stop := range stops {
 				stop()
+				pp.progressWorkers.Add(-1)
+			}
+			for _, ps := range pp.scalers {
+				ps.stopExtras()
 			}
 		}
 	}
 	return nil
 }
+
+// defaultMaxProgressWorkers caps adaptive progress goroutines per device.
+const defaultMaxProgressWorkers = 3
+
+// progScaler scales one device's dedicated progress goroutines between 1
+// and max under a load watermark: sustained utilization of the base worker
+// starts an extra dedicated worker driving the bare device progress engine;
+// sustained idleness parks the newest extra again. All mutable state is
+// owned by the base worker's goroutine (observe runs inside its loop);
+// Stop joins base workers before reaping the surviving extras.
+type progScaler struct {
+	pp    *Parcelport
+	dev   int
+	work  func() bool // bare device progress, what extra workers run
+	load  tune.LoadWatermark
+	max   int
+	extra []func() // stop functions of running extra workers
+}
+
+// observe feeds one base-worker progress pass into the watermark window and
+// actuates at window boundaries. Scaling events are rare (once per Window
+// passes at most), so the start/stop cost stays off the steady-state path.
+func (ps *progScaler) observe(did bool) {
+	if !ps.load.Observe(did) {
+		return
+	}
+	switch ps.load.Decide() {
+	case 1:
+		if len(ps.extra) < ps.max-1 {
+			name := fmt.Sprintf("lci-progress-%d.%d", ps.dev, len(ps.extra)+1)
+			ps.extra = append(ps.extra, ps.pp.sched.StartDedicated(name, false, ps.work))
+			ps.pp.progressWorkers.Add(1)
+		}
+	case -1:
+		if n := len(ps.extra); n > 0 {
+			stop := ps.extra[n-1]
+			ps.extra = ps.extra[:n-1]
+			stop() // joins promptly: the loop re-checks stop between passes
+			ps.pp.progressWorkers.Add(-1)
+		}
+	}
+}
+
+// stopExtras reaps any extra workers still running. Only called after the
+// base worker has been joined (no concurrent observe).
+func (ps *progScaler) stopExtras() {
+	for _, stop := range ps.extra {
+		stop()
+		ps.pp.progressWorkers.Add(-1)
+	}
+	ps.extra = ps.extra[:0]
+}
+
+// ProgressWorkers reports the dedicated progress goroutines currently
+// running across all devices (pin mode; 0 in mt mode or before Start).
+func (pp *Parcelport) ProgressWorkers() int { return int(pp.progressWorkers.Load()) }
 
 // Stop shuts the parcelport down (progress thread joined, no new work).
 func (pp *Parcelport) Stop() {

@@ -140,6 +140,89 @@ func TestMultiDeviceConcurrentSenders(t *testing.T) {
 	<-done
 }
 
+// TestMultiDeviceHeterogeneousEagerCap: the header cap must honour the
+// smallest eager threshold across ALL replicated devices, not just devs[0].
+// With the old devs[0]-only logic a header planned against an 8192-byte cap
+// was encoded into the 2048-byte packet buffers of the smaller device
+// whenever a connection striped there, and the message was dropped.
+func TestMultiDeviceHeterogeneousEagerCap(t *testing.T) {
+	eager := []int{8192, 2048, 8192}
+	net, err := fabric.NewNetwork(fabric.Config{Nodes: 2, LatencyNs: 100, DevicesPerNode: len(eager)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{}
+	for i := 0; i < 2; i++ {
+		i := i
+		r.scheds[i] = amt.New(amt.Config{Workers: 1})
+		devs := make([]*lci.Device, len(eager))
+		for di := range devs {
+			devs[di] = lci.NewDevice(net.DeviceN(i, di), lci.Config{EagerThreshold: eager[di]}, nil)
+		}
+		pp, err := NewMulti(devs, r.scheds[i], Config{Progress: parcelport.WorkerProgress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.pps[i] = pp
+		if err := pp.Start(func(m *serialization.Message) {
+			r.mu.Lock()
+			r.received[i] = append(r.received[i], m)
+			r.mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		r.pps[0].Stop()
+		r.pps[1].Stop()
+		r.scheds[0].Stop()
+		r.scheds[1].Stop()
+	})
+	if got := r.pps[0].MaxHeaderSize(); got != 2048 {
+		t.Fatalf("MaxHeaderSize = %d, want 2048 (min eager threshold across devices)", got)
+	}
+	// A zero-copy threshold below every eager limit still wins the min.
+	capped, err := NewMulti(r.pps[0].devs, nil, Config{ZeroCopyThreshold: 512, Progress: parcelport.WorkerProgress})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := capped.MaxHeaderSize(); got != 512 {
+		t.Fatalf("MaxHeaderSize = %d, want 512 (zero-copy threshold cap)", got)
+	}
+	// Payloads above the smallest eager limit but below the largest: headers
+	// planned against the old devs[0] cap piggybacked them and overflowed the
+	// small device's packets; they must all round-trip as follow-up chunks.
+	const n = 30
+	var parcels []*serialization.Parcel
+	for i := 0; i < n; i++ {
+		m, p := msgWith(t, 3000+i)
+		parcels = append(parcels, p)
+		r.pps[0].Send(1, m)
+	}
+	r.pump(t, 30*time.Second, func() bool {
+		return len(r.received[1]) == n && r.pps[0].Stats().MessagesSent == n
+	})
+	seen := make([]bool, n)
+	for _, m := range r.received[1] {
+		ps, err := serialization.Decode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for i, p := range parcels {
+			if !seen[i] && len(ps[0].Args[0]) == len(p.Args[0]) {
+				checkRoundTrip(t, m, p)
+				seen[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("message matches no parcel")
+		}
+	}
+}
+
 func TestNewMultiValidation(t *testing.T) {
 	if _, err := NewMulti(nil, nil, Config{Progress: parcelport.WorkerProgress}); err == nil {
 		t.Fatal("empty device list should fail")

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of Hist: power-of-two size classes
+// from [0,1) up to [2^30, ∞), enough for any message size the stack moves.
+const HistBuckets = 32
+
+// Hist is a fixed-bucket log2 histogram with atomic counters: Observe is
+// lock-free and allocation-free, so it can sit on per-message hot paths
+// (the adaptive tuning layer feeds one per destination). Values bucket by
+// bit length: bucket 0 holds 0, bucket k holds [2^(k-1), 2^k).
+type Hist struct {
+	counts [HistBuckets]atomic.Uint64
+}
+
+// histBucket maps a value to its bucket index.
+func histBucket(v int) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value. Safe for concurrent use; never allocates.
+func (h *Hist) Observe(v int) {
+	h.counts[histBucket(v)].Add(1)
+}
+
+// Total returns the number of recorded observations.
+func (h *Hist) Total() uint64 {
+	var t uint64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// FractionAtLeast returns the fraction of observations whose bucket holds
+// values >= cut (bucket granularity: the cut rounds down to its bucket's
+// lower bound). Returns 0 when the histogram is empty.
+func (h *Hist) FractionAtLeast(cut int) float64 {
+	var total, above uint64
+	b := histBucket(cut)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		total += c
+		if i >= b {
+			above += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(above) / float64(total)
+}
+
+// Reset zeroes every bucket (window-based controllers call this per epoch).
+func (h *Hist) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+}

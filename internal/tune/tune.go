@@ -1,0 +1,497 @@
+// Package tune is the adaptive control layer that replaces the stack's
+// static protocol knobs with per-destination feedback controllers. The
+// motivation follows the paper's own Table 1 analysis: no single point in
+// the design space (bundling vs send-immediate, eager vs rendezvous cutoff,
+// progress-thread count) wins on every workload, so the right configuration
+// is something the runtime should find, not the operator.
+//
+// Three controllers share one Controller object:
+//
+//   - Aggregation: per destination, the effective flush size, flush age and
+//     bundling/send-immediate choice move with the observed send rate
+//     (interarrival EWMA), bundle fill at flush time, egress queue depth and
+//     the ARQ's smoothed ack RTT. Hot peers bundle with a flush age tied to
+//     a fraction of the link RTT; cold peers bypass buffering entirely, as
+//     do bandwidth-bound peers whose traffic is dominated by rendezvous
+//     transfers (bundling cannot relieve a full pipe).
+//   - Eager/rendezvous threshold: per destination, the zero-copy cutoff
+//     descends under observed pool pressure (resource-exhaustion retries)
+//     when the destination's message-size histogram shows mass that a lower
+//     cutoff would move off the packet pools, and recovers to the
+//     configured static value after sustained calm.
+//   - Progress scaling: LoadWatermark is the shared utilization window the
+//     lci parcelport uses to add or park dedicated progress goroutines
+//     between load watermarks.
+//
+// Every signal-ingest method (ObserveSend, ObserveFlush, ObserveParcel) and
+// every knob read (AggKnobs, Threshold) is lock-free and allocation-free:
+// fixed per-destination structs, atomics only. The control laws themselves
+// run in Tick, rate-gated to one pass per TickNs, off the per-message path.
+// All actuation is clamped to explicit bounds, and every law moves knobs
+// monotonically toward a clamped target, so the controllers converge
+// instead of oscillating (see the property tests).
+package tune
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hpxgo/internal/stats"
+)
+
+// Signals provides the runtime measurements the controllers read. Any field
+// may be nil; the corresponding law then holds its knob at the static
+// default.
+type Signals struct {
+	// RTTNs returns the smoothed send→ack round trip toward dst in ns
+	// (0 = unknown). Fed from fabric.Device.LinkRTTNs.
+	RTTNs func(dst int) int64
+	// QueueDepth returns the packets queued toward dst that the peer has
+	// not yet drained. Fed from fabric.Device.EgressQueueDepth.
+	QueueDepth func(dst int) int
+	// PoolRetries returns the cumulative count of resource-exhaustion
+	// retries (packet pool empty, backpressure). Fed from lci device stats.
+	PoolRetries func() uint64
+}
+
+// Config bounds the controllers' actuation. Zero values select defaults.
+type Config struct {
+	// Dests is the number of destinations (required).
+	Dests int
+
+	// FlushBytes/FlushDelayNs seed every destination's aggregation knobs
+	// (the hand-tuned static values; the controllers start from parity).
+	FlushBytes   int
+	FlushDelayNs int64
+
+	// Aggregation actuation bounds.
+	MinFlushBytes   int
+	MaxFlushBytes   int
+	MinFlushDelayNs int64
+	MaxFlushDelayNs int64
+
+	// ZCThreshold is the configured static zero-copy threshold — the upper
+	// actuation bound (the adaptive cutoff only ever descends from it, so
+	// the receiver's pooled-buffer safety reasoning is untouched).
+	ZCThreshold int
+	// MinZCThreshold floors the descent.
+	MinZCThreshold int
+
+	// TickNs rate-gates the control pass.
+	TickNs int64
+	// PressureHigh is the per-tick retry delta that triggers threshold
+	// descent.
+	PressureHigh uint64
+	// CalmTicks is how many pressure-free ticks precede threshold ascent.
+	CalmTicks int
+}
+
+func (c *Config) fillDefaults() {
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 4096
+	}
+	if c.FlushDelayNs <= 0 {
+		c.FlushDelayNs = 50_000
+	}
+	if c.MinFlushBytes <= 0 {
+		c.MinFlushBytes = 512
+	}
+	if c.MaxFlushBytes <= 0 {
+		c.MaxFlushBytes = 16384
+	}
+	if c.MinFlushDelayNs <= 0 {
+		c.MinFlushDelayNs = 5_000
+	}
+	if c.MaxFlushDelayNs <= 0 {
+		c.MaxFlushDelayNs = 200_000
+	}
+	if c.ZCThreshold <= 0 {
+		c.ZCThreshold = 8192
+	}
+	if c.MinZCThreshold <= 0 {
+		c.MinZCThreshold = 1024
+	}
+	if c.MinZCThreshold > c.ZCThreshold {
+		c.MinZCThreshold = c.ZCThreshold
+	}
+	if c.TickNs <= 0 {
+		c.TickNs = 1_000_000 // 1ms
+	}
+	if c.PressureHigh == 0 {
+		c.PressureHigh = 4
+	}
+	if c.CalmTicks <= 0 {
+		c.CalmTicks = 4
+	}
+}
+
+// Queue-depth watermarks for the flush-size law: above deep the peer is
+// congested (bundle harder); below shallow growth is safe latency-wise.
+const (
+	depthDeep    = 128
+	depthShallow = 16
+)
+
+// bypassLargeFrac: once this fraction of a destination's parcels travel the
+// rendezvous path (size ≥ the static zero-copy threshold), the link to that
+// peer is bandwidth-bound, not injection-rate-bound — bundling the small
+// remainder cannot relieve the bottleneck and only queues those messages
+// behind large transfers, so the peer switches to send-immediate.
+const bypassLargeFrac = 0.25
+
+// peer is one destination's controller state: the knobs the datapath reads
+// (atomics, lock-free) plus the observation accumulators the laws consume.
+type peer struct {
+	// Knobs.
+	flushBytes   atomic.Int64
+	flushDelayNs atomic.Int64
+	coldIdleNs   atomic.Int64
+	bypass       atomic.Bool
+	zcThreshold  atomic.Int64
+
+	// Observations (per-message ingest).
+	lastSendNs atomic.Int64
+	gapEwmaNs  atomic.Int64 // send interarrival EWMA (α = 1/4)
+	sends      atomic.Uint64
+	fillEwma   atomic.Int64 // bundle bytes at flush (α = 1/4)
+	sizeFl     atomic.Uint64
+	ageFl      atomic.Uint64
+	sizeHist   stats.Hist
+
+	// Tick-private state (only the elected Tick runner touches these).
+	calm      int
+	lastSends uint64
+	lastSzFl  uint64
+	lastAgeFl uint64
+}
+
+// PeerSnapshot is a plain-value view of one destination's knobs and key
+// observations (tests, stats reporting).
+type PeerSnapshot struct {
+	FlushBytes   int
+	FlushDelayNs int64
+	ColdIdleNs   int64
+	Bypass       bool
+	ZCThreshold  int
+	GapEwmaNs    int64
+	Sends        uint64
+}
+
+// Controller holds every per-destination feedback loop of one locality.
+type Controller struct {
+	cfg   Config
+	sig   Signals
+	peers []peer
+
+	tickGate    atomic.Int64
+	mu          sync.Mutex // serializes Tick bodies (gate elects, mu protects)
+	lastRetries uint64
+	ticks       atomic.Uint64
+}
+
+// NewController builds the control state for cfg.Dests destinations, seeded
+// at the static configuration (parity until evidence accumulates).
+func NewController(cfg Config, sig Signals) *Controller {
+	cfg.fillDefaults()
+	c := &Controller{cfg: cfg, sig: sig, peers: make([]peer, cfg.Dests)}
+	for i := range c.peers {
+		p := &c.peers[i]
+		p.flushBytes.Store(int64(cfg.FlushBytes))
+		p.flushDelayNs.Store(cfg.FlushDelayNs)
+		p.coldIdleNs.Store(4 * cfg.FlushDelayNs)
+		p.zcThreshold.Store(int64(cfg.ZCThreshold))
+	}
+	return c
+}
+
+// Ticks reports completed control passes (tests).
+func (c *Controller) Ticks() uint64 { return c.ticks.Load() }
+
+// Peer returns dst's current knob/observation snapshot.
+func (c *Controller) Peer(dst int) PeerSnapshot {
+	if dst < 0 || dst >= len(c.peers) {
+		return PeerSnapshot{}
+	}
+	p := &c.peers[dst]
+	return PeerSnapshot{
+		FlushBytes:   int(p.flushBytes.Load()),
+		FlushDelayNs: p.flushDelayNs.Load(),
+		ColdIdleNs:   p.coldIdleNs.Load(),
+		Bypass:       p.bypass.Load(),
+		ZCThreshold:  int(p.zcThreshold.Load()),
+		GapEwmaNs:    p.gapEwmaNs.Load(),
+		Sends:        p.sends.Load(),
+	}
+}
+
+// --- datapath ingest & knob reads (lock-free, allocation-free) ---
+
+// AggKnobs returns dst's effective aggregation policy. Implements the
+// parcelport Tuner hook.
+func (c *Controller) AggKnobs(dst int) (flushBytes int, flushDelayNs, coldIdleNs int64, bypass bool) {
+	if dst < 0 || dst >= len(c.peers) {
+		return c.cfg.FlushBytes, c.cfg.FlushDelayNs, 4 * c.cfg.FlushDelayNs, false
+	}
+	p := &c.peers[dst]
+	return int(p.flushBytes.Load()), p.flushDelayNs.Load(), p.coldIdleNs.Load(), p.bypass.Load()
+}
+
+// ObserveSend records one bundleable send toward dst (bundled or direct).
+func (c *Controller) ObserveSend(dst, size int, nowNs int64) {
+	if dst < 0 || dst >= len(c.peers) {
+		return
+	}
+	p := &c.peers[dst]
+	p.sends.Add(1)
+	last := p.lastSendNs.Swap(nowNs)
+	if last > 0 && nowNs > last {
+		gap := nowNs - last
+		old := p.gapEwmaNs.Load()
+		if old == 0 {
+			p.gapEwmaNs.Store(gap)
+		} else {
+			p.gapEwmaNs.Store(old + (gap-old)/4)
+		}
+	}
+}
+
+// ObserveFlush records one bundle flush toward dst: the bundle's size, its
+// frame count, its age, and whether the size policy (vs the age policy)
+// triggered it.
+func (c *Controller) ObserveFlush(dst, bytes, frames int, ageNs int64, bySize bool) {
+	if dst < 0 || dst >= len(c.peers) {
+		return
+	}
+	p := &c.peers[dst]
+	old := p.fillEwma.Load()
+	if old == 0 {
+		p.fillEwma.Store(int64(bytes))
+	} else {
+		p.fillEwma.Store(old + (int64(bytes)-old)/4)
+	}
+	if bySize {
+		p.sizeFl.Add(1)
+	} else {
+		p.ageFl.Add(1)
+	}
+}
+
+// Threshold returns dst's effective zero-copy threshold. Implements the
+// parcel-layer Tuner hook. Always within [MinZCThreshold, ZCThreshold].
+func (c *Controller) Threshold(dst int) int {
+	if dst < 0 || dst >= len(c.peers) {
+		return c.cfg.ZCThreshold
+	}
+	return int(c.peers[dst].zcThreshold.Load())
+}
+
+// ObserveParcel records one outbound parcel's payload size toward dst
+// (threshold-law histogram feed).
+func (c *Controller) ObserveParcel(dst, size int) {
+	if dst < 0 || dst >= len(c.peers) {
+		return
+	}
+	c.peers[dst].sizeHist.Observe(size)
+}
+
+// --- the control pass ---
+
+// Tick runs one control pass if TickNs has elapsed since the last; cheap
+// (one atomic load) otherwise. Safe to call from any background/progress
+// loop. Reports whether a pass ran.
+func (c *Controller) Tick(nowNs int64) bool {
+	next := c.tickGate.Load()
+	if nowNs < next || !c.tickGate.CompareAndSwap(next, nowNs+c.cfg.TickNs) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var pressure uint64
+	if c.sig.PoolRetries != nil {
+		cur := c.sig.PoolRetries()
+		pressure = cur - c.lastRetries
+		c.lastRetries = cur
+	}
+	for i := range c.peers {
+		c.tunePeer(i, pressure)
+	}
+	c.ticks.Add(1)
+	return true
+}
+
+// tunePeer applies every law to one destination. Runs under c.mu.
+func (c *Controller) tunePeer(dst int, pressure uint64) {
+	p := &c.peers[dst]
+	cfg := &c.cfg
+
+	sends := p.sends.Load()
+	active := sends != p.lastSends
+	p.lastSends = sends
+
+	// --- flush delay: track a fraction of the link RTT ---
+	// A bundled message waits at most flushDelay for company; keeping that
+	// below ~RTT/4 bounds the aggregation latency tax to a fraction of what
+	// the wire already costs. Move halfway per tick (damped, converges
+	// geometrically).
+	delay := p.flushDelayNs.Load()
+	if c.sig.RTTNs != nil {
+		if rtt := c.sig.RTTNs(dst); rtt > 0 {
+			target := clamp64(rtt/4, cfg.MinFlushDelayNs, cfg.MaxFlushDelayNs)
+			delay += (target - delay) / 2
+			if delay < cfg.MinFlushDelayNs {
+				delay = cfg.MinFlushDelayNs
+			}
+			p.flushDelayNs.Store(delay)
+		}
+	}
+
+	// --- bundling vs send-immediate (hot/cold/bandwidth-bound) with
+	// hysteresis ---
+	// gapEwma ≫ coldIdle: messages arrive alone, bundling only adds the
+	// flush delay — bypass. gapEwma ≪ coldIdle: company is near-certain —
+	// bundle. The 4× band between enter and exit prevents oscillation at
+	// the boundary. Independently of rate, a destination whose size
+	// histogram shows heavy rendezvous mass is bandwidth-bound and bypasses
+	// too; that check runs first so a fast small-message trickle cannot
+	// re-enter bundling while large transfers still dominate the link.
+	coldIdle := clamp64(4*delay, 4*cfg.MinFlushDelayNs, 4*cfg.MaxFlushDelayNs)
+	p.coldIdleNs.Store(coldIdle)
+	if active {
+		if p.sizeHist.FractionAtLeast(cfg.ZCThreshold) >= bypassLargeFrac {
+			p.bypass.Store(true)
+		} else if gap := p.gapEwmaNs.Load(); gap > 0 {
+			if gap > 2*coldIdle {
+				p.bypass.Store(true)
+			} else if gap < coldIdle/2 {
+				p.bypass.Store(false)
+			}
+		}
+	}
+
+	// --- flush size: grow under egress congestion, shrink when bundles age
+	// out far below the size target, relax toward the configured seed
+	// otherwise ---
+	// Size-triggered flushes alone are NOT evidence that bigger bundles
+	// help (a hot peer size-flushes at any setting, and over-grown bundles
+	// cost receiver-side pipelining); only a backed-up egress queue is,
+	// because fewer, larger transfers cut per-packet overhead exactly when
+	// the wire is the bottleneck.
+	szFl, ageFl := p.sizeFl.Load(), p.ageFl.Load()
+	dSz, dAge := szFl-p.lastSzFl, ageFl-p.lastAgeFl
+	p.lastSzFl, p.lastAgeFl = szFl, ageFl
+	depth := 0
+	if c.sig.QueueDepth != nil {
+		depth = c.sig.QueueDepth(dst)
+	}
+	size := p.flushBytes.Load()
+	switch {
+	case depth >= depthDeep:
+		// Peer is backed up: larger bundles cut per-transfer overhead.
+		size = clamp64(size*2, int64(cfg.MinFlushBytes), int64(cfg.MaxFlushBytes))
+	case dAge > 0 && dSz == 0:
+		if fill := p.fillEwma.Load(); fill > 0 && fill < size/4 {
+			// Every flush ages out quarter-full: the size target is
+			// unreachable at this rate; shrink toward what actually fills.
+			size = clamp64(size/2, int64(cfg.MinFlushBytes), int64(cfg.MaxFlushBytes))
+		}
+	case dSz > 0 && depth < depthShallow && size != int64(cfg.FlushBytes):
+		// Congestion is gone but traffic still flows: geometrically relax
+		// back to the hand-tuned seed (the best-known uncongested point).
+		diff := int64(cfg.FlushBytes) - size
+		step := diff / 2
+		if step == 0 {
+			step = diff
+		}
+		size = clamp64(size+step, int64(cfg.MinFlushBytes), int64(cfg.MaxFlushBytes))
+	}
+	p.flushBytes.Store(size)
+
+	// --- eager/rendezvous threshold: descend under pool pressure when this
+	// destination actually carries large messages, recover after calm ---
+	th := p.zcThreshold.Load()
+	if pressure >= c.cfg.PressureHigh {
+		p.calm = 0
+		if th > int64(cfg.MinZCThreshold) && p.sizeHist.FractionAtLeast(int(th/2)) > 0.02 {
+			p.zcThreshold.Store(clamp64(th/2, int64(cfg.MinZCThreshold), int64(cfg.ZCThreshold)))
+		}
+	} else if pressure == 0 {
+		p.calm++
+		if p.calm >= cfg.CalmTicks && th < int64(cfg.ZCThreshold) {
+			p.calm = 0
+			p.zcThreshold.Store(clamp64(th*2, int64(cfg.MinZCThreshold), int64(cfg.ZCThreshold)))
+		}
+	} else {
+		p.calm = 0
+	}
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// --- progress-goroutine scaling ---
+
+// LoadWatermark is the utilization window behind progress-goroutine
+// scaling: one observer records whether each progress pass found work;
+// every Window samples Decide compares the work ratio against the
+// watermarks and votes to scale up (+1), down (-1) or hold (0).
+// Observe/Decide are allocation-free. A single goroutine owns the
+// Observe/Decide cycle (the base progress worker); the counters are atomics
+// only so tests may read them concurrently.
+type LoadWatermark struct {
+	High   float64 // scale up above this work ratio
+	Low    float64 // scale down below this work ratio
+	Window uint64  // samples per decision
+
+	passes atomic.Uint64
+	work   atomic.Uint64
+}
+
+func (w *LoadWatermark) fillDefaults() {
+	if w.High == 0 {
+		w.High = 0.75
+	}
+	if w.Low == 0 {
+		w.Low = 0.20
+	}
+	if w.Window == 0 {
+		w.Window = 4096
+	}
+}
+
+// Observe records one progress pass; returns true when a decision window
+// completed and the caller should invoke Decide.
+func (w *LoadWatermark) Observe(didWork bool) bool {
+	w.fillDefaults()
+	if didWork {
+		w.work.Add(1)
+	}
+	return w.passes.Add(1)%w.Window == 0
+}
+
+// Decide returns the scaling vote for the window just completed and resets
+// the counters: +1 (utilization above High), -1 (below Low), 0 otherwise.
+func (w *LoadWatermark) Decide() int {
+	w.fillDefaults()
+	passes := w.passes.Swap(0)
+	work := w.work.Swap(0)
+	if passes == 0 {
+		return 0
+	}
+	ratio := float64(work) / float64(passes)
+	switch {
+	case ratio > w.High:
+		return 1
+	case ratio < w.Low:
+		return -1
+	default:
+		return 0
+	}
+}

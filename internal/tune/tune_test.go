@@ -1,0 +1,426 @@
+package tune
+
+import (
+	"testing"
+)
+
+// sim drives one Controller against a synthetic workload on a virtual
+// clock, so the convergence properties are deterministic.
+type sim struct {
+	ctl *Controller
+	now int64
+
+	rtt     int64
+	depth   int
+	retries uint64
+}
+
+func newSim(cfg Config) *sim {
+	s := &sim{}
+	s.ctl = NewController(cfg, Signals{
+		RTTNs:       func(int) int64 { return s.rtt },
+		QueueDepth:  func(int) int { return s.depth },
+		PoolRetries: func() uint64 { return s.retries },
+	})
+	return s
+}
+
+// hotTick simulates one tick interval of a hot peer: a burst of closely
+// spaced sends plus size-triggered flushes, then the control pass.
+func (s *sim) hotTick(dst int, gapNs int64, flushFill int) {
+	tickNs := s.ctl.cfg.TickNs
+	for t := int64(0); t < tickNs; t += gapNs {
+		s.now += gapNs
+		s.ctl.ObserveSend(dst, 256, s.now)
+	}
+	s.ctl.ObserveFlush(dst, flushFill, 8, s.ctl.cfg.FlushDelayNs/2, true)
+	s.ctl.Tick(s.now)
+}
+
+// coldTick simulates one send arriving alone after gapNs of silence, its
+// bundle aging out, then the control pass (gapNs should exceed TickNs).
+func (s *sim) coldTick(dst int, gapNs int64, flushFill int) {
+	s.now += gapNs
+	s.ctl.ObserveSend(dst, 256, s.now)
+	s.ctl.ObserveFlush(dst, flushFill, 1, s.ctl.Peer(dst).FlushDelayNs, false)
+	s.ctl.Tick(s.now)
+}
+
+// TestHotPeerConvergence: under dense traffic with a known link RTT the
+// aggregation controller must (a) keep bundling (no bypass), (b) settle the
+// flush delay at RTT/4, (c) hold the flush size at the hand-tuned seed
+// while the egress queue stays shallow, (d) grow it to the cap under
+// sustained congestion, and (e) relax it back to the seed once the
+// congestion clears — each within a bounded number of ticks.
+func TestHotPeerConvergence(t *testing.T) {
+	s := newSim(Config{Dests: 2})
+	s.rtt = 400_000 // target delay = 100_000ns, inside [5k, 200k]
+	s.depth = 0
+
+	const bound = 32
+	for i := 0; i < bound; i++ {
+		s.hotTick(1, 2_000, int(s.ctl.Peer(1).FlushBytes))
+	}
+	p := s.ctl.Peer(1)
+	if p.Bypass {
+		t.Fatal("hot peer converged to bypass; want bundling")
+	}
+	if p.FlushDelayNs < 90_000 || p.FlushDelayNs > 110_000 {
+		t.Fatalf("flush delay = %dns, want ~RTT/4 = 100000ns", p.FlushDelayNs)
+	}
+	if p.FlushBytes != s.ctl.cfg.FlushBytes {
+		t.Fatalf("flush size = %d under shallow queues, want held at seed %d",
+			p.FlushBytes, s.ctl.cfg.FlushBytes)
+	}
+	// Stability: once converged the knobs must not move again under the
+	// unchanged workload.
+	for i := 0; i < bound; i++ {
+		s.hotTick(1, 2_000, int(s.ctl.Peer(1).FlushBytes))
+		q := s.ctl.Peer(1)
+		if q.Bypass != p.Bypass || q.FlushBytes != p.FlushBytes {
+			t.Fatalf("knobs moved after convergence: %+v -> %+v", p, q)
+		}
+	}
+	// Sustained congestion: the egress queue backs up, bundles must grow.
+	s.depth = depthDeep * 2
+	for i := 0; i < bound; i++ {
+		s.hotTick(1, 2_000, int(s.ctl.Peer(1).FlushBytes))
+	}
+	if got := s.ctl.Peer(1).FlushBytes; got != s.ctl.cfg.MaxFlushBytes {
+		t.Fatalf("flush size = %d under deep queues, want grown to cap %d", got, s.ctl.cfg.MaxFlushBytes)
+	}
+	// Congestion clears: relax back to the seed.
+	s.depth = 0
+	for i := 0; i < bound; i++ {
+		s.hotTick(1, 2_000, int(s.ctl.Peer(1).FlushBytes))
+	}
+	if got := s.ctl.Peer(1).FlushBytes; got != s.ctl.cfg.FlushBytes {
+		t.Fatalf("flush size = %d after congestion cleared, want relaxed to seed %d",
+			got, s.ctl.cfg.FlushBytes)
+	}
+}
+
+// TestColdPeerConvergence: a peer whose messages arrive alone (interarrival
+// far above the cold-idle window) must switch to send-immediate bypass and
+// shrink its unreachable flush-size target, within a bounded number of
+// ticks — and flip back to bundling within a bounded number of ticks once
+// the peer turns hot.
+func TestColdPeerConvergence(t *testing.T) {
+	s := newSim(Config{Dests: 2})
+	s.rtt = 400_000
+
+	const bound = 32
+	for i := 0; i < bound; i++ {
+		s.coldTick(1, 10_000_000, 100) // alone, bundles age out near-empty
+	}
+	p := s.ctl.Peer(1)
+	if !p.Bypass {
+		t.Fatalf("cold peer (gap %dns vs coldIdle %dns) did not converge to bypass",
+			p.GapEwmaNs, p.ColdIdleNs)
+	}
+	if p.FlushBytes != s.ctl.cfg.MinFlushBytes {
+		t.Fatalf("flush size = %d, want shrunk to floor %d under age-only flushes",
+			p.FlushBytes, s.ctl.cfg.MinFlushBytes)
+	}
+
+	// Reheat: dense traffic must re-enter bundling (hysteresis exit).
+	for i := 0; i < bound; i++ {
+		s.hotTick(1, 2_000, int(s.ctl.Peer(1).FlushBytes))
+	}
+	if s.ctl.Peer(1).Bypass {
+		t.Fatal("reheated peer stuck in bypass")
+	}
+}
+
+// TestBandwidthBoundBypass: a destination that is hot by send rate but whose
+// parcel mix is dominated by rendezvous-sized messages must switch to
+// send-immediate — the link is bandwidth-bound, so bundling the small
+// remainder only queues it behind the large transfers — and must stay
+// bypassed even though its interarrival gap alone would demand bundling.
+func TestBandwidthBoundBypass(t *testing.T) {
+	s := newSim(Config{Dests: 2})
+	s.rtt = 400_000
+	cfg := s.ctl.cfg
+
+	const bound = 32
+	for i := 0; i < bound; i++ {
+		// One rendezvous-sized parcel for every two small ones (1/3 ≥ the
+		// bypassLargeFrac enter threshold).
+		s.ctl.ObserveParcel(1, 64)
+		s.ctl.ObserveParcel(1, 1024)
+		s.ctl.ObserveParcel(1, cfg.ZCThreshold*2)
+		s.hotTick(1, 2_000, int(s.ctl.Peer(1).FlushBytes))
+	}
+	if !s.ctl.Peer(1).Bypass {
+		t.Fatal("bandwidth-bound hot peer did not converge to bypass")
+	}
+	// More hot small-message ticks must not re-enter bundling while the
+	// rendezvous mass persists in the histogram.
+	for i := 0; i < bound; i++ {
+		s.hotTick(1, 2_000, int(s.ctl.Peer(1).FlushBytes))
+	}
+	if !s.ctl.Peer(1).Bypass {
+		t.Fatal("bandwidth-bound peer re-entered bundling on small-message gaps alone")
+	}
+}
+
+// TestThresholdDescendsUnderPressureAndRecovers: sustained pool pressure on
+// a destination that carries large messages must walk the zero-copy
+// threshold down to the floor (monotonically — no oscillation while the
+// pressure lasts), and sustained calm must walk it back to the configured
+// static value.
+func TestThresholdDescendsUnderPressureAndRecovers(t *testing.T) {
+	s := newSim(Config{Dests: 2})
+	cfg := s.ctl.cfg
+
+	// Mixed-size workload: 90% tiny, 10% at the static threshold — enough
+	// mass above th/2 for the descent gate.
+	feed := func() {
+		for i := 0; i < 9; i++ {
+			s.ctl.ObserveParcel(1, 256)
+		}
+		s.ctl.ObserveParcel(1, cfg.ZCThreshold)
+	}
+
+	const bound = 16
+	prev := s.ctl.Threshold(1)
+	if prev != cfg.ZCThreshold {
+		t.Fatalf("seed threshold = %d, want %d", prev, cfg.ZCThreshold)
+	}
+	for i := 0; i < bound; i++ {
+		feed()
+		s.retries += cfg.PressureHigh + 2 // sustained pressure
+		s.now += cfg.TickNs
+		s.ctl.Tick(s.now)
+		cur := s.ctl.Threshold(1)
+		if cur > prev {
+			t.Fatalf("threshold rose %d -> %d during sustained pressure", prev, cur)
+		}
+		prev = cur
+	}
+	if prev != cfg.MinZCThreshold {
+		t.Fatalf("threshold = %d after %d pressure ticks, want floor %d", prev, bound, cfg.MinZCThreshold)
+	}
+
+	// Calm: full recovery within CalmTicks per doubling.
+	doublings := 0
+	for v := cfg.MinZCThreshold; v < cfg.ZCThreshold; v *= 2 {
+		doublings++
+	}
+	recoverBound := (cfg.CalmTicks + 1) * (doublings + 1)
+	for i := 0; i < recoverBound; i++ {
+		s.now += cfg.TickNs
+		s.ctl.Tick(s.now)
+	}
+	if got := s.ctl.Threshold(1); got != cfg.ZCThreshold {
+		t.Fatalf("threshold = %d after %d calm ticks, want recovered to %d", got, recoverBound, cfg.ZCThreshold)
+	}
+}
+
+// TestSmallTrafficNeverDescends: pressure with no large-message mass at the
+// destination must leave the threshold alone — lowering it would not
+// relieve the pools.
+func TestSmallTrafficNeverDescends(t *testing.T) {
+	s := newSim(Config{Dests: 2})
+	cfg := s.ctl.cfg
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 10; j++ {
+			s.ctl.ObserveParcel(1, 128) // all tiny
+		}
+		s.retries += cfg.PressureHigh + 2
+		s.now += cfg.TickNs
+		s.ctl.Tick(s.now)
+	}
+	if got := s.ctl.Threshold(1); got != cfg.ZCThreshold {
+		t.Fatalf("threshold = %d, want untouched %d (no large-message mass)", got, cfg.ZCThreshold)
+	}
+}
+
+// TestChaosBoundedOscillation: seeded RTT spikes, pressure spikes and queue
+// bursts ride on top of a steady hot workload. After a convergence horizon
+// the knobs must stay essentially put: every value inside its actuation
+// bounds at every tick, bounded direction changes, and each isolated
+// pressure spike at most triggers one down/up threshold excursion.
+func TestChaosBoundedOscillation(t *testing.T) {
+	s := newSim(Config{Dests: 2})
+	cfg := s.ctl.cfg
+	s.rtt = 400_000
+
+	chaos := func(tick int) {
+		// Deterministic fault schedule (the "seed").
+		s.rtt = 400_000
+		s.depth = 0
+		if tick%23 == 0 {
+			s.rtt = 5_000_000 // RTT spike
+		}
+		if tick%31 == 0 {
+			s.retries += cfg.PressureHigh + 4 // pool-pressure spike
+		}
+		if tick%17 == 0 {
+			s.depth = depthDeep + 32 // queue burst
+		}
+		for i := 0; i < 9; i++ {
+			s.ctl.ObserveParcel(1, 256)
+		}
+		s.ctl.ObserveParcel(1, cfg.ZCThreshold)
+	}
+
+	const horizon, run = 64, 256
+	for i := 1; i <= horizon; i++ {
+		chaos(i)
+		s.hotTick(1, 2_000, int(s.ctl.Peer(1).FlushBytes))
+	}
+
+	bypassFlips, sizeDirChanges, thDirChanges := 0, 0, 0
+	prev := s.ctl.Peer(1)
+	lastSizeDir, lastThDir := 0, 0
+	for i := horizon + 1; i <= horizon+run; i++ {
+		chaos(i)
+		s.hotTick(1, 2_000, int(s.ctl.Peer(1).FlushBytes))
+		cur := s.ctl.Peer(1)
+
+		// Invariants: every knob inside its actuation bounds, always.
+		if cur.FlushBytes < cfg.MinFlushBytes || cur.FlushBytes > cfg.MaxFlushBytes {
+			t.Fatalf("tick %d: flush size %d outside [%d, %d]", i, cur.FlushBytes, cfg.MinFlushBytes, cfg.MaxFlushBytes)
+		}
+		if cur.FlushDelayNs < cfg.MinFlushDelayNs || cur.FlushDelayNs > cfg.MaxFlushDelayNs {
+			t.Fatalf("tick %d: flush delay %d outside [%d, %d]", i, cur.FlushDelayNs, cfg.MinFlushDelayNs, cfg.MaxFlushDelayNs)
+		}
+		if cur.ZCThreshold < cfg.MinZCThreshold || cur.ZCThreshold > cfg.ZCThreshold {
+			t.Fatalf("tick %d: threshold %d outside [%d, %d]", i, cur.ZCThreshold, cfg.MinZCThreshold, cfg.ZCThreshold)
+		}
+
+		if cur.Bypass != prev.Bypass {
+			bypassFlips++
+		}
+		if d := dir(cur.FlushBytes - prev.FlushBytes); d != 0 {
+			if lastSizeDir != 0 && d != lastSizeDir {
+				sizeDirChanges++
+			}
+			lastSizeDir = d
+		}
+		if d := dir(cur.ZCThreshold - prev.ZCThreshold); d != 0 {
+			if lastThDir != 0 && d != lastThDir {
+				thDirChanges++
+			}
+			lastThDir = d
+		}
+		prev = cur
+	}
+
+	spikes := run / 31
+	if bypassFlips > 2 {
+		t.Fatalf("bypass flipped %d times under chaos; hysteresis is not holding", bypassFlips)
+	}
+	if sizeDirChanges > run/8 {
+		t.Fatalf("flush size reversed direction %d times over %d ticks", sizeDirChanges, run)
+	}
+	// Each pressure spike may buy one descend-then-recover excursion
+	// (two direction changes); anything beyond that is oscillation.
+	if thDirChanges > 2*spikes+2 {
+		t.Fatalf("threshold reversed direction %d times for %d pressure spikes", thDirChanges, spikes)
+	}
+}
+
+func dir(d int) int {
+	switch {
+	case d > 0:
+		return 1
+	case d < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// TestSteadyStatePathsZeroAlloc: every ingest hook and knob read sits on the
+// per-message datapath; none may allocate. The control pass itself (and the
+// rate-gated fast exit) must be allocation-free too, since it runs from
+// progress loops.
+func TestSteadyStatePathsZeroAlloc(t *testing.T) {
+	s := newSim(Config{Dests: 4})
+	s.rtt = 400_000
+	now := int64(1)
+	if a := testing.AllocsPerRun(200, func() {
+		now += 1_000
+		s.ctl.ObserveSend(1, 256, now)
+		s.ctl.ObserveFlush(1, 4096, 8, 25_000, true)
+		s.ctl.ObserveParcel(1, 256)
+		_, _, _, _ = s.ctl.AggKnobs(1)
+		_ = s.ctl.Threshold(1)
+	}); a != 0 {
+		t.Fatalf("ingest/knob path allocates %.1f/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		s.ctl.Tick(now) // gated: TickNs has not elapsed
+	}); a != 0 {
+		t.Fatalf("gated Tick allocates %.1f/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		now += s.ctl.cfg.TickNs
+		if !s.ctl.Tick(now) {
+			t.Fatal("full tick did not run")
+		}
+	}); a != 0 {
+		t.Fatalf("control pass allocates %.1f/op, want 0", a)
+	}
+}
+
+// TestLoadWatermark: the utilization window votes +1 above High, -1 below
+// Low, 0 in the band, and resets between windows.
+func TestLoadWatermark(t *testing.T) {
+	w := &LoadWatermark{High: 0.75, Low: 0.25, Window: 8}
+	feed := func(work, idle int) int {
+		decisions := 0
+		vote := 0
+		for i := 0; i < work; i++ {
+			if w.Observe(true) {
+				decisions++
+				vote = w.Decide()
+			}
+		}
+		for i := 0; i < idle; i++ {
+			if w.Observe(false) {
+				decisions++
+				vote = w.Decide()
+			}
+		}
+		if decisions != 1 {
+			t.Fatalf("window of %d samples produced %d decisions, want 1", work+idle, decisions)
+		}
+		return vote
+	}
+	if v := feed(8, 0); v != 1 {
+		t.Fatalf("fully busy window voted %d, want +1", v)
+	}
+	if v := feed(0, 8); v != -1 {
+		t.Fatalf("fully idle window voted %d, want -1", v)
+	}
+	if v := feed(4, 4); v != 0 {
+		t.Fatalf("half-busy window voted %d, want 0 (inside the band)", v)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if w.Observe(true) {
+			w.Decide()
+		}
+	}); a != 0 {
+		t.Fatalf("watermark observe/decide allocates %.1f/op, want 0", a)
+	}
+}
+
+// TestNilSignalsHoldStatic: with no signals wired (e.g. the TCP transport)
+// every knob must hold its seeded static value forever.
+func TestNilSignalsHoldStatic(t *testing.T) {
+	ctl := NewController(Config{Dests: 2}, Signals{})
+	now := int64(0)
+	for i := 0; i < 50; i++ {
+		now += ctl.cfg.TickNs
+		ctl.ObserveSend(1, 256, now)
+		ctl.Tick(now)
+	}
+	p := ctl.Peer(1)
+	if p.FlushBytes != ctl.cfg.FlushBytes || p.FlushDelayNs != ctl.cfg.FlushDelayNs ||
+		p.ZCThreshold != ctl.cfg.ZCThreshold {
+		t.Fatalf("knobs drifted with nil signals: %+v", p)
+	}
+}
