@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver bench-collectives bench-msgrate bench-autotune bench-gate fuzz examples experiments clean
+.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver bench-collectives bench-msgrate bench-autotune bench-rendezvous bench-latency bench-gate fuzz examples experiments clean
 
 all: build vet test
 
@@ -19,6 +19,7 @@ alloc-gate:
 	$(GO) test ./internal/core/ -run 'TestDeliverBundleZeroAllocs|TestCollBoxFastPathZeroAlloc' -count=1
 	$(GO) test ./internal/serialization/ -run TestDecodeIntoSteadyStateAllocs -count=1
 	$(GO) test ./internal/tune/ -run TestSteadyStatePathsZeroAlloc -count=1
+	$(GO) test ./internal/lci/ -run TestChunkedZeroAllocSteadyState -count=1
 
 build:
 	$(GO) build ./...
@@ -67,6 +68,19 @@ bench-deliver:
 # bench-gate runs at — so the committed rows stay comparable.
 bench-msgrate:
 	$(GO) run ./cmd/experiments -scale quick -out results msgrate-bench
+
+# Regenerate the committed large-message rendezvous bandwidth baseline
+# (results/BENCH_rendezvous.json): chunked multi-rail striping vs the
+# monolithic single-blob path. Pinned to quick scale — the same scale
+# bench-gate runs at — so the committed rows stay comparable.
+bench-rendezvous:
+	$(GO) run ./cmd/experiments -scale quick -out results rendezvous-bench
+
+# Regenerate the committed small/medium latency snapshot
+# (results/BENCH_latency.json): one-way 8 B and 16 KiB latency at 1 and 8
+# workers. Informational (no hard gate); quick scale for comparability.
+bench-latency:
+	$(GO) run ./cmd/experiments -scale quick -out results latency-bench
 
 # Adaptive-vs-static acceptance sweep: the self-tuning runtime must match or
 # beat every hand-tuned static config on every workload (within the noise

@@ -36,7 +36,7 @@ func main() {
 	format := flag.String("format", "text", "figure output format: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick] [-out dir] <target>...\n")
-		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability collectives autotune msgrate-bench bench-gate all\n")
+		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability collectives autotune msgrate-bench rendezvous-bench latency-bench bench-gate all\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -80,6 +80,10 @@ func main() {
 			text, extra, err = runAutotune(sc, *scale)
 		case "msgrate-bench":
 			text, extra, err = runMsgRateBench(sc, *scale)
+		case "rendezvous-bench":
+			text, extra, err = runRendezvousBench(sc, *scale)
+		case "latency-bench":
+			text, extra, err = runLatencyBench(sc, *scale)
 		case "bench-gate":
 			text, err = runBenchGate(sc, *scale)
 		default:
@@ -160,11 +164,47 @@ func runMsgRateBench(sc bench.Scale, scaleName string) (string, map[string][]byt
 	return rep.Text(), map[string][]byte{"BENCH_msgrate.json": js}, nil
 }
 
-// benchGateArtifact is the committed baseline bench-gate checks against.
-const benchGateArtifact = "results/BENCH_msgrate.json"
+// runRendezvousBench measures the large-message rendezvous bandwidth sweep
+// (size × rails × chunk size vs the single-blob baseline) and emits
+// BENCH_rendezvous.json. Fails if the striping claims don't hold.
+func runRendezvousBench(sc bench.Scale, scaleName string) (string, map[string][]byte, error) {
+	rep, err := bench.RendezvousBench(sc, scaleName)
+	if err != nil {
+		if rep == nil {
+			return "", nil, err
+		}
+		return "", nil, fmt.Errorf("%w\n%s", err, rep.Text())
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		return "", nil, err
+	}
+	return rep.Text(), map[string][]byte{"BENCH_rendezvous.json": js}, nil
+}
 
-// runBenchGate re-measures the gated rows and compares them against the
-// committed artifact, failing on ns/op or allocs/op regression.
+// runLatencyBench measures the latency trajectory rows and emits
+// BENCH_latency.json.
+func runLatencyBench(sc bench.Scale, scaleName string) (string, map[string][]byte, error) {
+	rep, err := bench.LatencyBench(sc, scaleName)
+	if err != nil {
+		return "", nil, err
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		return "", nil, err
+	}
+	return rep.Text(), map[string][]byte{"BENCH_latency.json": js}, nil
+}
+
+// Committed baselines bench-gate checks against.
+const (
+	benchGateArtifact      = "results/BENCH_msgrate.json"
+	rendezvousGateArtifact = "results/BENCH_rendezvous.json"
+)
+
+// runBenchGate re-measures the gated rows (message rate and rendezvous
+// bandwidth) and compares them against the committed artifacts, failing on
+// ns/op or allocs/op regression and on broken striping claims.
 func runBenchGate(sc bench.Scale, scaleName string) (string, error) {
 	data, err := os.ReadFile(benchGateArtifact)
 	if err != nil {
@@ -182,7 +222,24 @@ func runBenchGate(sc bench.Scale, scaleName string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("%w\n%s", err, text)
 	}
-	return text, nil
+
+	rdata, err := os.ReadFile(rendezvousGateArtifact)
+	if err != nil {
+		return "", fmt.Errorf("bench-gate: %w (run `make bench-rendezvous` and commit the artifact)", err)
+	}
+	rcommitted, err := bench.ParseRendezvousReport(rdata)
+	if err != nil {
+		return "", err
+	}
+	rfresh, err := bench.RendezvousBench(sc, scaleName)
+	if err != nil && rfresh == nil {
+		return "", err
+	}
+	rtext, err := bench.RendezvousGate(rfresh, rcommitted)
+	if err != nil {
+		return "", fmt.Errorf("%w\n%s", err, rtext)
+	}
+	return text + "\n" + rtext, nil
 }
 
 // run executes one target at the given scale.

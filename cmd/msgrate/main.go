@@ -45,6 +45,11 @@ func main() {
 	corrupt := flag.Float64("corrupt", 0, "fault injection: packet corruption probability")
 	spike := flag.Float64("spike", 0, "fault injection: latency spike probability")
 	seed := flag.Int64("faultseed", 1, "fault injection: RNG seed")
+	large := flag.Bool("large", false, "run the large-message rendezvous bandwidth benchmark instead of the message-rate loop")
+	chunk := flag.Int("chunk", 0, "rendezvous chunk size in bytes (0 = device default 64 KiB; with -large)")
+	stripe := flag.Int("stripe", 0, "rendezvous stripe width in rails (0 = all rails; with -large)")
+	rails := flag.Int("rails", 4, "fabric rail count (with -large)")
+	blob := flag.Bool("blob", false, "use the monolithic single-blob long path (baseline; with -large)")
 	agg := flag.Bool("agg", false, "enable the sender-side aggregation layer")
 	autotune := flag.Bool("autotune", false, "enable the adaptive control layer (per-peer knobs replace the static ones)")
 	aggsize := flag.Int("aggsize", 0, "aggregation flush size threshold in bytes (0 = default)")
@@ -81,6 +86,23 @@ func main() {
 			runtime.GC() // settle live-heap statistics before the dump
 			writeProfile("heap", *memprofile)
 		}()
+	}
+
+	if *large {
+		sz := *size
+		if sz <= 8 { // the message-rate default is 8 B; pick a rendezvous-sized default
+			sz = 1 << 20
+		}
+		res, err := bench.Rendezvous(bench.RendezvousParams{
+			Size: sz, Rails: *rails, ChunkSize: *chunk, Stripe: *stripe, SingleBlob: *blob,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rendezvous size=%dB rails=%d chunk=%dB stripe=%d blob=%v ns/op=%.0f bandwidth=%.2fGb/s allocs/op=%.2f\n",
+			sz, *rails, *chunk, *stripe, *blob, res.NsOp, res.Gbps, res.AllocsOp)
+		return
 	}
 
 	params := bench.MsgRateParams{

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Latency trajectory artifact: the ping-pong latency distribution of a
+// small fixed set of (size, window) points, committed as
+// results/BENCH_latency.json so latency regressions show up in perf
+// history the same way message-rate and collectives regressions do.
+// Latency on a shared host is jitter-prone, so the artifact records the
+// trajectory without wiring a hard gate into `make check`.
+
+// LatencyRecord is one measured (size, window) row.
+type LatencyRecord struct {
+	Op     string  `json:"op"`      // e.g. "latency/lci_i/16KiB/w8"
+	MeanUs float64 `json:"mean_us"` // mean one-way latency
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// LatencyReport is the artifact: rows plus provenance, the same shape as
+// the other BENCH_*.json artifacts.
+type LatencyReport struct {
+	Commit    string          `json:"commit"`
+	Generated string          `json:"generated"`
+	Scale     string          `json:"scale"`
+	Records   []LatencyRecord `json:"records"`
+}
+
+// latencyPoints enumerates the artifact rows: the smallest and an
+// eager-threshold-sized message, solo and windowed.
+func latencyPoints(sc Scale) []struct {
+	op string
+	p  LatencyParams
+} {
+	return []struct {
+		op string
+		p  LatencyParams
+	}{
+		{"latency/lci_i/8B/w1", LatencyParams{Size: 8, Window: 1, Steps: sc.LatencySteps}},
+		{"latency/lci_i/8B/w8", LatencyParams{Size: 8, Window: 8, Steps: sc.LatencySteps}},
+		{"latency/lci_i/16KiB/w1", LatencyParams{Size: 16384, Window: 1, Steps: sc.LatencySteps}},
+		{"latency/lci_i/16KiB/w8", LatencyParams{Size: 16384, Window: 8, Steps: sc.LatencySteps}},
+	}
+}
+
+// LatencyBench measures every row, best-of-reps by mean (the distribution
+// columns come from the best rep, so one row is internally consistent).
+func LatencyBench(sc Scale, scaleName string) (*LatencyReport, error) {
+	rep := &LatencyReport{
+		Commit:    gitCommit(),
+		Generated: time.Now().Format(time.RFC3339),
+		Scale:     scaleName,
+	}
+	reps := sc.Reps
+	if reps < 2 {
+		reps = 2
+	}
+	for _, pt := range latencyPoints(sc) {
+		rec := LatencyRecord{Op: pt.op}
+		for r := 0; r < reps; r++ {
+			d, err := LatencyDistribution("lci_i", pt.p)
+			if err != nil {
+				return nil, fmt.Errorf("latency bench %s: %w", pt.op, err)
+			}
+			if rec.MeanUs == 0 || d.Mean < rec.MeanUs {
+				rec = LatencyRecord{Op: pt.op, MeanUs: d.Mean, P50Us: d.P50, P99Us: d.P99, MaxUs: d.Max}
+			}
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	return rep, nil
+}
+
+// JSON renders the report as the BENCH_latency.json artifact.
+func (r *LatencyReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Text renders the rows for the experiments output.
+func (r *LatencyReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# latency trajectory rows (commit %s)\n", r.Commit)
+	fmt.Fprintf(&b, "%-26s %10s %10s %10s %10s\n", "op", "mean_us", "p50_us", "p99_us", "max_us")
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "%-26s %10.2f %10.2f %10.2f %10.2f\n", rec.Op, rec.MeanUs, rec.P50Us, rec.P99Us, rec.MaxUs)
+	}
+	return b.String()
+}
+
+// ParseLatencyReport decodes a committed BENCH_latency.json.
+func ParseLatencyReport(data []byte) (*LatencyReport, error) {
+	var r LatencyReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: bad BENCH_latency.json: %w", err)
+	}
+	return &r, nil
+}

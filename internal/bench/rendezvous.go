@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"hpxgo/internal/fabric"
+	"hpxgo/internal/lci"
+)
+
+// Large-message rendezvous bandwidth: the chunked, multi-rail-striped long
+// path measured against the monolithic single-blob baseline it replaced.
+// The single-blob path is kept in the device (Config.SingleBlobLong) as the
+// oracle: every measured transfer is byte-compared against the payload, and
+// the artifact's blob rows are the before/after reference the striping
+// speedup is quoted against. Committed as results/BENCH_rendezvous.json and
+// re-checked by `make bench-gate`.
+
+// RendezvousParams configures one large-message bandwidth point between two
+// devices on an Expanse-profile fabric with a configurable rail count.
+type RendezvousParams struct {
+	Size       int  // payload bytes
+	Rails      int  // fabric rails
+	ChunkSize  int  // 0 = device default (64 KiB)
+	Stripe     int  // stripe width; 0 = all rails
+	SingleBlob bool // monolithic opLongData baseline (the oracle)
+	Reps       int  // timed transfers; the median is reported
+	Warmup     int  // untimed warm-up transfers (pools, map capacity)
+}
+
+// RendezvousResult is one measured point. The median rep is reported rather
+// than the minimum: the blob baseline's per-transfer cost is dominated by
+// fresh multi-MiB allocations (the packet pool only recycles payloads up to
+// 64 KiB), whose page-fault cost swings ~3x between reps — a minimum would
+// quote the baseline's luckiest rep and make the speedup ratio unstable.
+type RendezvousResult struct {
+	NsOp     float64 // median-rep wall ns per transfer (post → completion)
+	Gbps     float64 // payload bandwidth at NsOp, gigabits/second
+	AllocsOp float64 // process-wide mallocs per transfer, timed reps only
+}
+
+// Rendezvous measures one point: two lci devices on a 2-node fabric with
+// the platform's latency/bandwidth model, a single benchmark goroutine
+// driving both progress engines (fabric arrival gating means simulated wire
+// time, not host scheduling, dominates). Every transfer is verified
+// byte-identical against the payload.
+func Rendezvous(p RendezvousParams) (RendezvousResult, error) {
+	if p.Size <= 0 {
+		p.Size = 1 << 20
+	}
+	if p.Rails <= 0 {
+		p.Rails = 2
+	}
+	if p.Reps <= 0 {
+		p.Reps = 5
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = 8 // enough transfers to fill every pool to steady state
+	}
+	net, err := fabric.NewNetwork(fabric.Config{
+		Nodes:               2,
+		LatencyNs:           Expanse.LatencyNs,
+		GbitsPerSec:         Expanse.GbitsPerSec,
+		Rails:               p.Rails,
+		PacketOverheadBytes: 64,
+	})
+	if err != nil {
+		return RendezvousResult{}, err
+	}
+	lcfg := lci.Config{ChunkSize: p.ChunkSize, StripeWidth: p.Stripe, SingleBlobLong: p.SingleBlob}
+	snd := lci.NewDevice(net.Device(0), lcfg, nil)
+	rcv := lci.NewDevice(net.Device(1), lcfg, nil)
+	cq := lci.NewCompQueue(64)
+	payload := make([]byte, p.Size)
+	buf := make([]byte, p.Size)
+
+	transfer := func(fill byte) (time.Duration, error) {
+		for i := range payload {
+			payload[i] = fill + byte(i)
+		}
+		t0 := time.Now()
+		if err := rcv.Recvl(0, 1, buf, cq, nil); err != nil {
+			return 0, fmt.Errorf("Recvl: %w", err)
+		}
+		for {
+			err := snd.Sendl(1, 1, payload, nil, nil)
+			if err == nil {
+				break
+			}
+			if err != lci.ErrRetry {
+				return 0, fmt.Errorf("Sendl: %w", err)
+			}
+			snd.Progress()
+		}
+		for {
+			if _, ok := cq.Pop(); ok {
+				break
+			}
+			snd.Progress()
+			rcv.Progress()
+		}
+		elapsed := time.Since(t0)
+		if !bytes.Equal(buf, payload) {
+			return 0, fmt.Errorf("rendezvous payload mismatch (size %d, rails %d, chunk %d, stripe %d)",
+				p.Size, p.Rails, p.ChunkSize, p.Stripe)
+		}
+		return elapsed, nil
+	}
+
+	for w := 0; w < p.Warmup; w++ {
+		if _, err := transfer(byte(w)); err != nil {
+			return RendezvousResult{}, err
+		}
+	}
+	durations := make([]time.Duration, 0, p.Reps)
+	runtime.GC() // settle GC debt from setup so no cycle fires mid-bracket
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for r := 0; r < p.Reps; r++ {
+		el, err := transfer(byte(r + 101))
+		if err != nil {
+			return RendezvousResult{}, err
+		}
+		durations = append(durations, el)
+	}
+	runtime.ReadMemStats(&ms1)
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	median := durations[len(durations)/2]
+	res := RendezvousResult{
+		NsOp:     float64(median.Nanoseconds()),
+		AllocsOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(p.Reps),
+	}
+	if res.NsOp > 0 {
+		res.Gbps = float64(p.Size) * 8 / res.NsOp // bits per ns == Gbit/s
+	}
+	return res, nil
+}
+
+// RendezvousRecord is one artifact row.
+type RendezvousRecord struct {
+	Op       string  `json:"op"`        // e.g. "rendezvous/c64K/1MiB/r4"
+	NsOp     float64 `json:"ns_op"`     // wall ns per transfer
+	Gbps     float64 `json:"gbps"`      // payload bandwidth
+	AllocsOp float64 `json:"allocs_op"` // process-wide mallocs per transfer
+}
+
+// RendezvousReport is the artifact: rows plus provenance, the same shape as
+// BENCH_msgrate.json / BENCH_collectives.json.
+type RendezvousReport struct {
+	Commit    string             `json:"commit"`
+	Generated string             `json:"generated"`
+	Scale     string             `json:"scale"`
+	Records   []RendezvousRecord `json:"records"`
+}
+
+// Structural claims checked by RendezvousClaims on every fresh report (so
+// the claim regressing fails bench-rendezvous and bench-gate, not just a
+// reader of the numbers).
+const (
+	// rendSpeedupMin: chunked 1MiB on 4 rails must reach at least this
+	// multiple of the single-blob baseline's bandwidth. Physics allows ~4x
+	// (four rails transmit concurrently); 3x leaves room for handshake and
+	// host overhead.
+	rendSpeedupMin = 3.0
+	// rendParityMin: chunked on ONE rail must stay within noise of the
+	// single-blob path (chunking overhead must not tax the config that
+	// cannot benefit from it).
+	rendParityMin = 0.75
+	// rendAllocsMax: steady-state chunked transfers must not allocate —
+	// any chunk size: chunks are injected zero-copy (fabric Borrow), so
+	// no payload buffer is ever created on the sender, and the receiver
+	// copies into the posted buffer.
+	rendAllocsMax = 0.5
+)
+
+// Row names the claims reference.
+const (
+	rendBlobR1 = "rendezvous/blob/1MiB/r1"
+	rendBlobR4 = "rendezvous/blob/1MiB/r4"
+	rendC64KR1 = "rendezvous/c64K/1MiB/r1"
+	rendC64KR4 = "rendezvous/c64K/1MiB/r4"
+)
+
+// rendezvousPoints enumerates the artifact rows: the 1 MiB size × rails
+// sweep against the blob baseline, plus a chunk-size sweep at 4 rails.
+func rendezvousPoints(sc Scale) []struct {
+	op string
+	p  RendezvousParams
+} {
+	const mib = 1 << 20
+	reps := sc.Reps
+	if reps < 5 {
+		reps = 5
+	}
+	return []struct {
+		op string
+		p  RendezvousParams
+	}{
+		{rendBlobR1, RendezvousParams{Size: mib, Rails: 1, SingleBlob: true, Reps: reps}},
+		{rendBlobR4, RendezvousParams{Size: mib, Rails: 4, SingleBlob: true, Reps: reps}},
+		{rendC64KR1, RendezvousParams{Size: mib, Rails: 1, Reps: reps}},
+		{"rendezvous/c64K/1MiB/r2", RendezvousParams{Size: mib, Rails: 2, Reps: reps}},
+		{rendC64KR4, RendezvousParams{Size: mib, Rails: 4, Reps: reps}},
+		{"rendezvous/c64K/1MiB/r8", RendezvousParams{Size: mib, Rails: 8, Reps: reps}},
+		{"rendezvous/c16K/1MiB/r4", RendezvousParams{Size: mib, Rails: 4, ChunkSize: 16 << 10, Reps: reps}},
+		{"rendezvous/c256K/1MiB/r4", RendezvousParams{Size: mib, Rails: 4, ChunkSize: 256 << 10, Reps: reps}},
+		{"rendezvous/c64K/256KiB/r4", RendezvousParams{Size: 256 << 10, Rails: 4, Reps: reps}},
+	}
+}
+
+// RendezvousBench measures every row and checks the structural claims.
+func RendezvousBench(sc Scale, scaleName string) (*RendezvousReport, error) {
+	rep := &RendezvousReport{
+		Commit:    gitCommit(),
+		Generated: time.Now().Format(time.RFC3339),
+		Scale:     scaleName,
+	}
+	for _, pt := range rendezvousPoints(sc) {
+		res, err := Rendezvous(pt.p)
+		if err != nil {
+			return nil, fmt.Errorf("rendezvous bench %s: %w", pt.op, err)
+		}
+		rep.Records = append(rep.Records, RendezvousRecord{
+			Op: pt.op, NsOp: res.NsOp, Gbps: res.Gbps, AllocsOp: res.AllocsOp,
+		})
+	}
+	if err := RendezvousClaims(rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// RendezvousClaims validates the report's structural claims: striping
+// speedup at 4 rails, single-rail parity with the blob path, and zero
+// steady-state allocations on the chunked rows.
+func RendezvousClaims(r *RendezvousReport) error {
+	byOp := map[string]RendezvousRecord{}
+	for _, rec := range r.Records {
+		byOp[rec.Op] = rec
+	}
+	blob1, blob4 := byOp[rendBlobR1], byOp[rendBlobR4]
+	c1, c4 := byOp[rendC64KR1], byOp[rendC64KR4]
+	var failures []string
+	if blob4.Gbps > 0 && c4.Gbps < blob4.Gbps*rendSpeedupMin {
+		failures = append(failures, fmt.Sprintf("striping speedup %.2fx < %.1fx (chunked r4 %.1f Gbps vs blob r4 %.1f Gbps)",
+			c4.Gbps/blob4.Gbps, rendSpeedupMin, c4.Gbps, blob4.Gbps))
+	}
+	if blob1.Gbps > 0 && c1.Gbps < blob1.Gbps*rendParityMin {
+		failures = append(failures, fmt.Sprintf("single-rail parity %.2fx < %.2fx (chunked r1 %.1f Gbps vs blob r1 %.1f Gbps)",
+			c1.Gbps/blob1.Gbps, rendParityMin, c1.Gbps, blob1.Gbps))
+	}
+	for _, rec := range r.Records {
+		if strings.HasPrefix(rec.Op, "rendezvous/c") && rec.AllocsOp > rendAllocsMax {
+			failures = append(failures, fmt.Sprintf("%s: %.2f allocs/op (chunked steady state must not allocate)",
+				rec.Op, rec.AllocsOp))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: rendezvous claims failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// JSON renders the report as the BENCH_rendezvous.json artifact.
+func (r *RendezvousReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Text renders the rows for the experiments output.
+func (r *RendezvousReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# rendezvous bandwidth rows (commit %s)\n", r.Commit)
+	fmt.Fprintf(&b, "%-28s %10s %12s %10s\n", "op", "Gbps", "ns/op", "allocs/op")
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "%-28s %10.1f %12.0f %10.2f\n", rec.Op, rec.Gbps, rec.NsOp, rec.AllocsOp)
+	}
+	return b.String()
+}
+
+// ParseRendezvousReport decodes a committed BENCH_rendezvous.json.
+func ParseRendezvousReport(data []byte) (*RendezvousReport, error) {
+	var r RendezvousReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: bad BENCH_rendezvous.json: %w", err)
+	}
+	return &r, nil
+}
+
+// RendezvousGate compares a fresh measurement against the committed
+// artifact (step regressions in ns/op and allocs/op, same tolerances as the
+// message-rate gate) and re-validates the structural claims on the fresh
+// rows.
+func RendezvousGate(fresh, committed *RendezvousReport) (string, error) {
+	if fresh.Scale != committed.Scale {
+		return "", fmt.Errorf("bench: gate scale %q vs committed artifact scale %q — regenerate the artifact at the gate's scale",
+			fresh.Scale, committed.Scale)
+	}
+	byOp := map[string]RendezvousRecord{}
+	for _, rec := range fresh.Records {
+		byOp[rec.Op] = rec
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# rendezvous gate vs committed commit %s\n", committed.Commit)
+	fmt.Fprintf(&b, "%-28s %14s %16s %8s\n", "op", "ns/op new/old", "allocs/op new/old", "verdict")
+	var failures []string
+	for _, old := range committed.Records {
+		cur, ok := byOp[old.Op]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: row missing from fresh run", old.Op))
+			continue
+		}
+		verdict := "ok"
+		if old.NsOp > 0 && cur.NsOp > old.NsOp*gateNsOpFactor {
+			verdict = "SLOWER"
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f > %.1fx committed %.0f",
+				old.Op, cur.NsOp, gateNsOpFactor, old.NsOp))
+		}
+		if cur.AllocsOp > old.AllocsOp*gateAllocsFactor+gateAllocsSlack {
+			verdict = "ALLOCS"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.2f > %.1fx committed %.2f + %.0f",
+				old.Op, cur.AllocsOp, gateAllocsFactor, old.AllocsOp, gateAllocsSlack))
+		}
+		fmt.Fprintf(&b, "%-28s %6.0f/%-7.0f %8.2f/%-7.2f %8s\n",
+			old.Op, cur.NsOp, old.NsOp, cur.AllocsOp, old.AllocsOp, verdict)
+	}
+	if err := RendezvousClaims(fresh); err != nil {
+		failures = append(failures, err.Error())
+	}
+	if len(failures) > 0 {
+		return b.String(), fmt.Errorf("bench: rendezvous regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return b.String(), nil
+}

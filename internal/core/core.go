@@ -241,6 +241,7 @@ func (rt *Runtime) buildLocality(i int) (*Locality, error) {
 		}
 		loc.pp = pp
 		loc.lciDev = devs[0]
+		loc.lciDevs = devs
 	case parcelport.TransportTCP:
 		loc.pp = rt.tcpg.Parcelport(i)
 	}
@@ -321,17 +322,29 @@ func (rt *Runtime) wireAutotune(loc *Locality, i int) {
 	if dev := loc.lciDev; dev != nil {
 		sig.PoolRetries = func() uint64 { return dev.Stats().Retries }
 	}
+	rails := 1
+	if rt.net != nil {
+		rails = rt.net.Config().Rails
+	}
 	ctl := tune.NewController(tune.Config{
-		Dests:        rt.cfg.Localities,
-		FlushBytes:   rt.cfg.AggFlushBytes,
-		FlushDelayNs: rt.cfg.AggFlushDelay.Nanoseconds(),
-		ZCThreshold:  rt.cfg.ZeroCopyThreshold,
+		Dests:          rt.cfg.Localities,
+		FlushBytes:     rt.cfg.AggFlushBytes,
+		FlushDelayNs:   rt.cfg.AggFlushDelay.Nanoseconds(),
+		ZCThreshold:    rt.cfg.ZeroCopyThreshold,
+		StripeWidth:    rt.cfg.LCI.StripeWidth,
+		MaxStripeWidth: rails,
 	}, sig)
 	loc.tuner = ctl
 	if agg, ok := loc.pp.(*parcelport.Aggregator); ok {
 		agg.SetTuner(ctl)
 	}
 	loc.layer.SetTuner(ctl)
+	// Rendezvous stripe width: every LCI device of the locality reads its
+	// per-destination width from the controller (devices are replicated
+	// lanes to the same peers, so they share the law's verdict).
+	for _, dev := range loc.lciDevs {
+		dev.SetStripeTuner(ctl.StripeWidth)
+	}
 }
 
 // RegisterAction registers fn under name on every locality. Must be called
@@ -508,13 +521,14 @@ type contEntry struct {
 // Locality is one simulated compute node: scheduler, parcelport, parcel
 // layer and continuation table.
 type Locality struct {
-	rt     *Runtime
-	id     int
-	sched  *amt.Scheduler
-	pp     parcelport.Parcelport
-	layer  *parcel.Layer
-	lciDev *lci.Device      // LCI transport only (stats)
-	tuner  *tune.Controller // Autotune only (adaptive knobs)
+	rt      *Runtime
+	id      int
+	sched   *amt.Scheduler
+	pp      parcelport.Parcelport
+	layer   *parcel.Layer
+	lciDev  *lci.Device      // LCI transport only (stats)
+	lciDevs []*lci.Device    // all replicated LCI devices (stripe-tuner wiring)
+	tuner   *tune.Controller // Autotune only (adaptive knobs)
 
 	contMu   sync.Mutex
 	conts    map[uint64]contEntry

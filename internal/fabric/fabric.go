@@ -523,7 +523,7 @@ func (d *Device) Inject(p Packet) error {
 		return fmt.Errorf("fabric: invalid destination node %d", p.Dst)
 	}
 	p.Src = d.node
-	r := d.railFor(p.Dst)
+	r := d.railFor(p.Dst, p.Rail)
 
 	// The reliable path copies the payload itself, into a recycled
 	// retransmission buffer.
@@ -547,9 +547,11 @@ func (d *Device) Inject(p Packet) error {
 }
 
 // InjectBatch injects pkts in order, amortizing the per-rail producer lock
-// across runs of consecutive packets to the same destination (one rail per
-// run). It returns how many packets were injected; on backpressure or an
-// invalid destination it stops there, so the caller retries pkts[n:].
+// across runs of consecutive packets to the same destination and rail
+// selector (one rail per run — a run of unpinned packets shares one
+// round-robin pick, and a rail-major chunk stream forms one run per rail).
+// It returns how many packets were injected; on backpressure or an invalid
+// destination it stops there, so the caller retries pkts[n:].
 func (d *Device) InjectBatch(pkts []Packet) (int, error) {
 	buffered := d.rel != nil && d.rel.buffered
 	for i := 0; i < len(pkts); {
@@ -562,14 +564,14 @@ func (d *Device) InjectBatch(pkts []Packet) (int, error) {
 			// no run amortization there.
 			p := pkts[i]
 			p.Src = d.node
-			if err := d.rel.inject(&p, d.railFor(dst)); err != nil {
+			if err := d.rel.inject(&p, d.railFor(dst, p.Rail)); err != nil {
 				return i, err
 			}
 			i++
 			continue
 		}
 		j := i + 1
-		for j < len(pkts) && pkts[j].Dst == dst {
+		for j < len(pkts) && pkts[j].Dst == dst && pkts[j].Rail == pkts[i].Rail {
 			j++
 		}
 		n, err := d.injectRun(pkts[i:j])
@@ -596,7 +598,7 @@ func (d *Device) injectRun(run []Packet) (int, error) {
 		}
 		rx = d.rel.rx[dst]
 	}
-	r := d.railFor(dst)
+	r := d.railFor(dst, run[0].Rail)
 	max := d.net.cfg.MaxInflight
 	n := 0
 	var bytes uint64
@@ -631,19 +633,29 @@ func (d *Device) injectRun(run []Packet) (int, error) {
 	return n, nil
 }
 
-// railFor picks the (round-robin) destination rail for one transmission to
-// dst. Device i talks to device i: replicated contexts are independent lanes.
-// The rotation arithmetic stays in uint64 the whole way: converting the
-// counter to int first (as an earlier revision did) goes negative at
-// wraparound and a negative % would index out of bounds.
-func (d *Device) railFor(dst int) *rail {
+// railFor picks the destination rail for one transmission to dst: the
+// RailPin-encoded rail when pin > 0 (taken modulo the rail count), the
+// round-robin rotation otherwise. Device i talks to device i: replicated
+// contexts are independent lanes. The rotation arithmetic stays in uint64
+// the whole way: converting the counter to int first (as an earlier
+// revision did) goes negative at wraparound and a negative % would index
+// out of bounds.
+func (d *Device) railFor(dst int, pin int) *rail {
 	dstDev := d.net.devices[dst][d.idx]
 	railIdx := 0
-	if d.net.cfg.Rails > 1 {
-		railIdx = int(d.railRR.Add(1) % uint64(d.net.cfg.Rails))
+	if rails := d.net.cfg.Rails; rails > 1 {
+		if pin > 0 {
+			railIdx = (pin - 1) % rails
+		} else {
+			railIdx = int(d.railRR.Add(1) % uint64(rails))
+		}
 	}
 	return &dstDev.in[d.node][railIdx]
 }
+
+// Rails reports the configured rail count, so layers striping a transfer
+// across rails (the chunked rendezvous path) know how wide they can go.
+func (d *Device) Rails() int { return d.net.cfg.Rails }
 
 // reserveSendSlot claims the device's next egress slot under the SendGapNs
 // occupancy model: the packet starts transmitting no earlier than the

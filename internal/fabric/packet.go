@@ -18,6 +18,26 @@ type Packet struct {
 	T2   uint64
 	Data []byte
 
+	// Rail selects the transmission rail. Zero (the zero value every
+	// existing caller passes) keeps the fabric's round-robin spraying;
+	// RailPin(r) pins the packet to rail r. Striping one logical transfer
+	// across rails — the chunked rendezvous path — needs the pin so each
+	// chunk run lands on a distinct rail deterministically instead of
+	// wherever the shared round-robin cursor happens to point.
+	Rail int
+
+	// Borrow requests zero-copy injection: the fabric references Data
+	// directly instead of making its "DMA" copy into a pooled buffer —
+	// the analogue of transmitting straight out of registered memory. The
+	// caller must keep Data valid and unmutated until the packet has been
+	// delivered and released; a protocol built on Borrow therefore needs a
+	// remote completion notification (the chunked rendezvous FIN) before
+	// reusing the buffer. Honored on the lossless path only: with fault
+	// injection active the fabric falls back to copying, because
+	// retransmission and corruption injection both need a private pristine
+	// copy.
+	Borrow bool
+
 	arriveNs int64 // set by Inject; visible to Poll once passed
 
 	// Pool bookkeeping (pool.go); zero for caller-constructed packets.
@@ -36,3 +56,8 @@ type Packet struct {
 // ArrivedAtNs exposes the computed arrival time (nanoseconds since network
 // creation) for tests that validate the latency/bandwidth model.
 func (p *Packet) ArrivedAtNs() int64 { return p.arriveNs }
+
+// RailPin encodes rail r (0-based, taken modulo the configured rail count)
+// for Packet.Rail. The encoding is offset by one so that the Packet zero
+// value still means "no pin, round-robin".
+func RailPin(r int) int { return r + 1 }

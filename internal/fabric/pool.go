@@ -87,6 +87,8 @@ func (d *Device) getPacket() *Packet {
 	p.owner = d
 	atomic.StoreInt32(&p.refs, 1)
 	p.Op, p.T0, p.T1, p.T2 = 0, 0, 0, 0
+	p.Rail = 0
+	p.Borrow = false
 	p.relSeq, p.relAck, p.relFlags, p.sum = 0, 0, 0, 0
 	p.arriveNs = 0
 	return p
@@ -94,11 +96,19 @@ func (d *Device) getPacket() *Packet {
 
 // newStored copies the caller's packet template into a pooled stored packet
 // (the Inject "DMA" copy). Zero allocations once the recycled payload
-// capacity covers the payload size.
+// capacity covers the payload size. A Borrow template skips the copy and
+// references the caller's payload directly (see Packet.Borrow); Release
+// then drops the reference instead of recycling foreign memory into the
+// pool.
 func (d *Device) newStored(p *Packet) *Packet {
 	s := d.getPacket()
 	s.Src, s.Dst, s.Op = p.Src, p.Dst, p.Op
 	s.T0, s.T1, s.T2 = p.T0, p.T1, p.T2
+	if p.Borrow {
+		s.Borrow = true
+		s.Data = p.Data
+		return s
+	}
 	s.Data = append(s.Data[:0], p.Data...)
 	return s
 }
@@ -129,7 +139,10 @@ func (p *Packet) Release() {
 	d := p.owner
 	pp := d.pool
 	pp.puts.Add(1)
-	if cap(p.Data) > maxRecycledPayload {
+	if p.Borrow {
+		p.Data = nil // borrowed payload is the injector's memory, never pooled
+		p.Borrow = false
+	} else if cap(p.Data) > maxRecycledPayload {
 		p.Data = nil
 	} else {
 		p.Data = p.Data[:0]

@@ -1,0 +1,156 @@
+package fabric
+
+import (
+	"testing"
+)
+
+// railTestNet builds a 2-node network with the given rail count and no
+// reliability framing noise beyond the default.
+func railTestNet(t *testing.T, rails int) *Network {
+	t.Helper()
+	net, err := NewNetwork(Config{Nodes: 2, LatencyNs: 100, Rails: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// railCount returns how many packets are queued (arrived or not) on the
+// src→owner rail with the given index.
+func railCount(owner *Device, src, rail int) int {
+	return int(owner.in[src][rail].count.Load())
+}
+
+// TestRailPinRouting: RailPin(r) lands every packet on rail r (mod rails),
+// while the zero value keeps round-robin spraying.
+func TestRailPinRouting(t *testing.T) {
+	const rails = 4
+	net := railTestNet(t, rails)
+	d0, d1 := net.Device(0), net.Device(1)
+
+	// Pinned: 3 packets per rail, including a pin beyond the rail count
+	// (must wrap modulo rails).
+	for r := 0; r < rails; r++ {
+		for k := 0; k < 3; k++ {
+			if err := d0.Inject(Packet{Dst: 1, Op: 1, Rail: RailPin(r)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d0.Inject(Packet{Dst: 1, Op: 1, Rail: RailPin(rails + 1)}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rails; r++ {
+		want := 3
+		if r == 1 { // RailPin(rails+1) wraps to rail 1
+			want = 4
+		}
+		if got := railCount(d1, 0, r); got != want {
+			t.Fatalf("rail %d holds %d packets, want %d", r, got, want)
+		}
+	}
+
+	// Unpinned: round-robin must spread 8 packets evenly over 4 rails.
+	net2 := railTestNet(t, rails)
+	e0, e1 := net2.Device(0), net2.Device(1)
+	for k := 0; k < 2*rails; k++ {
+		if err := e0.Inject(Packet{Dst: 1, Op: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < rails; r++ {
+		if got := railCount(e1, 0, r); got != 2 {
+			t.Fatalf("round-robin rail %d holds %d packets, want 2", r, got)
+		}
+	}
+}
+
+// TestInjectBatchRailRuns: a batch with rail-major runs lands each run on
+// its pinned rail (the run grouping must split on Rail, not just Dst).
+func TestInjectBatchRailRuns(t *testing.T) {
+	const rails = 4
+	net := railTestNet(t, rails)
+	d0, d1 := net.Device(0), net.Device(1)
+
+	var batch []Packet
+	for r := 0; r < rails; r++ {
+		for k := 0; k < 4; k++ { // rail-major: consecutive packets share a rail
+			batch = append(batch, Packet{Dst: 1, Op: 1, Rail: RailPin(r)})
+		}
+	}
+	n, err := d0.InjectBatch(batch)
+	if err != nil || n != len(batch) {
+		t.Fatalf("InjectBatch = (%d, %v), want (%d, nil)", n, err, len(batch))
+	}
+	for r := 0; r < rails; r++ {
+		if got := railCount(d1, 0, r); got != 4 {
+			t.Fatalf("rail %d holds %d packets, want 4", r, got)
+		}
+	}
+}
+
+// TestBorrowZeroCopy: a Borrow injection must deliver the caller's own
+// bytes without copying them (the payload aliases the injected buffer), and
+// Release must not recycle the borrowed memory into the packet pool.
+func TestBorrowZeroCopy(t *testing.T) {
+	net := railTestNet(t, 1)
+	d0, d1 := net.Device(0), net.Device(1)
+
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := d0.Inject(Packet{Dst: 1, Op: 1, Data: payload, Borrow: true}); err != nil {
+		t.Fatal(err)
+	}
+	var p *Packet
+	for p == nil {
+		p = d1.Poll()
+	}
+	if &p.Data[0] != &payload[0] {
+		t.Fatal("Borrow injection copied the payload; want the delivered packet to alias the caller's buffer")
+	}
+	p.Release()
+
+	// The borrowed buffer must not come back out of the pool as a packet
+	// payload: drain a pool get and check it does not alias.
+	q := d0.getPacket()
+	if len(q.Data) > 0 && cap(q.Data) > 0 && &q.Data[:1][0] == &payload[0] {
+		t.Fatal("borrowed payload was recycled into the packet pool")
+	}
+	q.Release()
+}
+
+// TestBorrowFallsBackToCopyUnderFaults: with fault injection active the ARQ
+// must retain a private copy (retransmissions and corruption injection
+// would otherwise touch caller memory), so Borrow is ignored.
+func TestBorrowFallsBackToCopyUnderFaults(t *testing.T) {
+	net, err := NewNetwork(Config{
+		Nodes: 2, LatencyNs: 100,
+		Faults: FaultConfig{DropProb: 0.0001, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1 := net.Device(0), net.Device(1)
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	if err := d0.Inject(Packet{Dst: 1, Op: 1, Data: payload, Borrow: true}); err != nil {
+		t.Fatal(err)
+	}
+	var p *Packet
+	for p == nil {
+		p = d1.Poll()
+	}
+	if &p.Data[0] == &payload[0] {
+		t.Fatal("buffered ARQ delivered the caller's buffer; want a private copy under fault injection")
+	}
+	for i := range payload {
+		if p.Data[i] != payload[i] {
+			t.Fatalf("copied payload differs at %d", i)
+		}
+	}
+	p.Release()
+}

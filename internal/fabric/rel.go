@@ -541,7 +541,7 @@ func (rs *relState) maintain() {
 			tl.noteRetransmitLocked()
 			d.retransmits.Add(1)
 			d.trace("fabric", "retransmit", int64(seq))
-			rs.transmitLocked(tl, pend, d.railFor(dst))
+			rs.transmitLocked(tl, pend, d.railFor(dst, 0))
 			if pend.dueNs < linkNext {
 				linkNext = pend.dueNs
 			}
@@ -614,7 +614,7 @@ func (rs *relState) sendAck(dst int) {
 	if d.net.cfg.Faults.CorruptProb > 0 {
 		w.sum = packetChecksum(w)
 	}
-	d.enqueue(d.railFor(dst), w, extraNs)
+	d.enqueue(d.railFor(dst, 0), w, extraNs)
 	d.acksSent.Add(1)
 	d.trace("fabric", "ack", int64(dst))
 }

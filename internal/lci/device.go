@@ -36,16 +36,26 @@ const AnyRank = -1
 
 // Wire opcodes carried in fabric packets.
 const (
-	opMedium   uint8 = iota + 1 // eager two-sided message
-	opPut                       // one-sided dynamic put
-	opRTS                       // rendezvous request-to-send
-	opCTS                       // rendezvous clear-to-send
-	opLongData                  // rendezvous payload
-	opShort                     // two-sided short message (payload in metadata)
-	opPutRTS                    // one-sided long put: request-to-send
-	opPutCTS                    // one-sided long put: clear-to-send
-	opPutData                   // one-sided long put: payload
+	opMedium    uint8 = iota + 1 // eager two-sided message
+	opPut                        // one-sided dynamic put
+	opRTS                        // rendezvous request-to-send
+	opCTS                        // rendezvous clear-to-send
+	opLongData                   // rendezvous payload
+	opShort                      // two-sided short message (payload in metadata)
+	opPutRTS                     // one-sided long put: request-to-send
+	opPutCTS                     // one-sided long put: clear-to-send
+	opPutData                    // one-sided long put: payload
+	opLongChunk                  // rendezvous payload chunk (striped across rails)
+	opLongFin                    // rendezvous remote-completion notification
 )
+
+// DefaultChunkSize is the rendezvous chunk size when Config.ChunkSize is
+// zero. It matches the fabric pool's maximum recycled payload (64 KiB): a
+// chunk of this size is copied into a pooled buffer on inject and the
+// buffer is recycled on release, so the steady-state chunk stream is
+// allocation-free; one byte more and every chunk's payload would fall to
+// the garbage collector.
+const DefaultChunkSize = 64 << 10
 
 // ShortSize is the maximum payload of a short send: it travels entirely in
 // the packet's metadata words, the analogue of LCI's LCI_SHORT_SIZE
@@ -74,6 +84,20 @@ type Config struct {
 	// MaxRegisteredBytes caps explicitly registered memory (RegisterMemory).
 	// Zero means unlimited.
 	MaxRegisteredBytes int64
+	// ChunkSize is the rendezvous chunk size: a long payload larger than
+	// this is split into ChunkSize pieces striped across the fabric rails
+	// instead of travelling as one monolithic opLongData packet. Default
+	// DefaultChunkSize (64 KiB, the fabric pool's recycling limit).
+	ChunkSize int
+	// StripeWidth bounds how many rails one chunked transfer spreads
+	// across. Zero means all rails. An installed stripe tuner
+	// (SetStripeTuner) overrides this per destination.
+	StripeWidth int
+	// SingleBlobLong disables chunking entirely and restores the
+	// pre-chunking monolithic opLongData path. It exists as the oracle and
+	// baseline for the chunked protocol: benchmarks measure striping
+	// speedup against it, and property tests check byte-identical results.
+	SingleBlobLong bool
 }
 
 func (c *Config) fillDefaults() {
@@ -91,6 +115,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxLongHandles <= 0 {
 		c.MaxLongHandles = 4096
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = DefaultChunkSize
 	}
 }
 
@@ -134,6 +161,18 @@ type Device struct {
 	def deferred // backpressured injections awaiting retry
 	reg registry // explicit memory-registration accounting
 
+	// prPool recycles postedRecv records so the steady-state Recvm/Recvl →
+	// deliver cycle allocates nothing; waves recycles the scratch packet
+	// arrays streamChunks builds its InjectBatch calls in (a stack array
+	// would escape through the batch-call slice).
+	prPool *ring[*postedRecv]
+	waves  *ring[*[chunkWave]fabric.Packet]
+
+	// stripeTuner, when set, supplies the per-destination stripe width (the
+	// adaptive layer's knob). Install before traffic starts; read by the
+	// progress engine without synchronization.
+	stripeTuner func(dst int) int
+
 	stats struct {
 		mediumSent    atomic.Uint64
 		mediumRecvd   atomic.Uint64
@@ -158,12 +197,14 @@ func NewDevice(fdev *fabric.Device, cfg Config, putCQ *CompQueue) *Device {
 		putCQ = NewCompQueue(cfg.CQCapacity)
 	}
 	d := &Device{
-		cfg:   cfg,
-		fdev:  fdev,
-		rank:  fdev.Node(),
-		putCQ: putCQ,
-		pool:  newRing[*Packet](cfg.PoolPackets),
-		match: newMatchTable(cfg.MatchShards),
+		cfg:    cfg,
+		fdev:   fdev,
+		rank:   fdev.Node(),
+		putCQ:  putCQ,
+		pool:   newRing[*Packet](cfg.PoolPackets),
+		match:  newMatchTable(cfg.MatchShards),
+		prPool: newRing[*postedRecv](prPoolCap),
+		waves:  newRing[*[chunkWave]fabric.Packet](wavePoolCap),
 	}
 	for i := 0; i < cfg.PoolPackets; i++ {
 		d.pool.TryPush(&Packet{Data: make([]byte, cfg.EagerThreshold), dev: d})
@@ -172,6 +213,71 @@ func NewDevice(fdev *fabric.Device, cfg Config, putCQ *CompQueue) *Device {
 	d.recvHandles = newHandleTable[longRecv](cfg.MaxLongHandles)
 	d.reg.limit = cfg.MaxRegisteredBytes
 	return d
+}
+
+// prPoolCap / wavePoolCap bound the recycled postedRecv records and chunk
+// wave buffers kept per device; both pools fill lazily and overflow to the
+// garbage collector.
+const (
+	prPoolCap   = 1024
+	wavePoolCap = 64
+)
+
+// getPR takes a recycled postedRecv (or allocates one on a miss).
+func (d *Device) getPR() *postedRecv {
+	if pr, ok := d.prPool.TryPop(); ok {
+		return pr
+	}
+	return &postedRecv{}
+}
+
+// putPR zeroes a consumed postedRecv and returns it to the pool. Callers
+// must hold the only reference: a record parked in the match table (or
+// re-queued by postRecvFront) is still live and must not be recycled.
+func (d *Device) putPR(pr *postedRecv) {
+	*pr = postedRecv{}
+	d.prPool.TryPush(pr)
+}
+
+// getWave / putWave recycle the scratch arrays streamChunks assembles its
+// injection batches in.
+func (d *Device) getWave() *[chunkWave]fabric.Packet {
+	if w, ok := d.waves.TryPop(); ok {
+		return w
+	}
+	return new([chunkWave]fabric.Packet)
+}
+
+func (d *Device) putWave(w *[chunkWave]fabric.Packet) {
+	*w = [chunkWave]fabric.Packet{} // drop payload sub-slice references
+	d.waves.TryPush(w)
+}
+
+// SetStripeTuner installs the per-destination stripe-width source (the
+// adaptive layer's actuator). A returned width <= 0 falls back to the
+// static Config.StripeWidth. Must be installed before traffic starts; the
+// progress engine reads it without synchronization.
+func (d *Device) SetStripeTuner(f func(dst int) int) { d.stripeTuner = f }
+
+// chunkPlan decides how a long payload of the given size travels to dst:
+// chunked (chunk size + stripe width) or, when chunking is disabled or the
+// payload fits a single chunk, as the monolithic opLongData blob
+// (chunkSize 0).
+func (d *Device) chunkPlan(dst, size int) (chunkSize, stripe int) {
+	if d.cfg.SingleBlobLong || size <= d.cfg.ChunkSize {
+		return 0, 0
+	}
+	rails := d.fdev.Rails()
+	sw := d.cfg.StripeWidth
+	if t := d.stripeTuner; t != nil {
+		if w := t(dst); w > 0 {
+			sw = w
+		}
+	}
+	if sw <= 0 || sw > rails {
+		sw = rails
+	}
+	return d.cfg.ChunkSize, sw
 }
 
 // Rank returns this device's node id.
@@ -283,7 +389,8 @@ func (d *Device) SendmPacket(dst int, tag uint32, p *Packet, n int, comp Comp, c
 // with the given tag. comp is signalled with the trimmed buffer when the
 // message arrives.
 func (d *Device) Recvm(src int, tag uint32, buf []byte, comp Comp, ctx any) error {
-	pr := &postedRecv{src: src, tag: tag, buf: buf, comp: comp, ctx: ctx, long: false}
+	pr := d.getPR()
+	pr.src, pr.tag, pr.buf, pr.comp, pr.ctx, pr.long = src, tag, buf, comp, ctx, false
 	if um := d.match.postRecv(kindMedium, src, tag, pr); um != nil {
 		d.deliverMedium(um, pr)
 	}
@@ -350,8 +457,12 @@ func (d *Device) Putl(dst int, meta uint32, data []byte, comp Comp, ctx any) err
 	return nil
 }
 
-// Sendl posts a long (rendezvous) send. comp is signalled locally once the
-// payload has been handed to the fabric (buffer reusable).
+// Sendl posts a long (rendezvous) send. comp is signalled once the payload
+// buffer is reusable: for a chunked transfer the chunks travel zero-copy
+// out of data, so completion waits for the receiver's opLongFin (every
+// chunk copied out); the monolithic single-blob path copies at injection
+// and completes as soon as the payload is handed to the fabric. Either
+// way, data must stay untouched until comp fires.
 func (d *Device) Sendl(dst int, tag uint32, data []byte, comp Comp, ctx any) error {
 	h, idx, ok := d.sendHandles.alloc()
 	if !ok {
@@ -382,7 +493,8 @@ func (d *Device) Sendl(dst int, tag uint32, data []byte, comp Comp, ctx any) err
 // Recvl posts a long (rendezvous) receive into buf. comp is signalled with
 // the trimmed buffer once the payload has landed.
 func (d *Device) Recvl(src int, tag uint32, buf []byte, comp Comp, ctx any) error {
-	pr := &postedRecv{src: src, tag: tag, buf: buf, comp: comp, ctx: ctx, long: true}
+	pr := d.getPR()
+	pr.src, pr.tag, pr.buf, pr.comp, pr.ctx, pr.long = src, tag, buf, comp, ctx, true
 	if um := d.match.postRecv(kindLong, src, tag, pr); um != nil {
 		return d.acceptRTS(um, pr)
 	}
@@ -400,6 +512,7 @@ func (d *Device) deliverMedium(pkt *fabric.Packet, pr *postedRecv) {
 	if pr.comp != nil {
 		pr.comp.signal(Request{Type: CompRecv, Rank: src, Tag: tag, Data: pr.buf[:n], Ctx: pr.ctx})
 	}
+	d.putPR(pr)
 }
 
 // acceptRTS matches a rendezvous RTS with a posted long receive: allocate a
@@ -419,8 +532,28 @@ func (d *Device) acceptRTS(rts *fabric.Packet, pr *postedRecv) error {
 	h.ctx = pr.ctx
 	h.src = rts.Src
 	h.tag = uint32(rts.T0)
+	// Arm chunked reassembly: the RTS's low word announces the payload
+	// size, which is the byte budget the completion counter counts down —
+	// correct whether the payload then arrives as one opLongData blob or as
+	// out-of-order opLongChunk pieces.
+	h.expect = int(uint32(rts.T1))
+	atomic.StoreInt64(&h.remaining, int64(h.expect))
 	sendIdx := uint32(rts.T1 >> 32)
-	err := d.fdev.Inject(fabric.Packet{Dst: rts.Src, Op: opCTS, T0: uint64(sendIdx), T1: uint64(idx)})
-	rts.Release() // consumed either way; on inject failure the CTS is simply lost
-	return err
+	h.sendIdx = sendIdx
+	cts := fabric.Packet{Dst: rts.Src, Op: opCTS, T0: uint64(sendIdx), T1: uint64(idx)}
+	rts.Release()
+	d.putPR(pr)
+	if err := d.fdev.Inject(cts); err != nil {
+		if errors.Is(err, fabric.ErrBackpressure) {
+			// Losing the CTS would deadlock the rendezvous: neither side
+			// retransmits it. Park it on the deferred-work list and let the
+			// next Progress pass retry until the reverse rail drains.
+			d.stats.retries.Add(1)
+			d.deferControl(cts)
+			return nil
+		}
+		d.recvHandles.release(idx)
+		return err
+	}
+	return nil
 }

@@ -135,25 +135,22 @@ func (t *matchTable) unexpectedCount() int {
 	return n
 }
 
+// deleteAt / deletePRAt keep the emptied slice (rather than dropping it to
+// nil) so a steady-state post→match cycle on a stable tag set reuses the
+// map entry's capacity instead of re-allocating on every append. The
+// retained memory is bounded by the high-water mark per live tag.
+
 func deleteAt(l []*fabric.Packet, i int) []*fabric.Packet {
 	l[i] = l[len(l)-1]
 	l[len(l)-1] = nil
-	l = l[:len(l)-1]
-	if len(l) == 0 {
-		return nil
-	}
-	return l
+	return l[:len(l)-1]
 }
 
 func deletePRAt(l []*postedRecv, i int) []*postedRecv {
 	// Preserve posting order for the remaining receives (wildcards care).
 	copy(l[i:], l[i+1:])
 	l[len(l)-1] = nil
-	l = l[:len(l)-1]
-	if len(l) == 0 {
-		return nil
-	}
-	return l
+	return l[:len(l)-1]
 }
 
 // handleTable is a fixed-size slot table with a lock-free freelist, used for
@@ -194,6 +191,36 @@ type longSend struct {
 	ctx  any
 	dst  int
 	tag  uint32
+
+	// Chunked-streaming cursor, populated by handleCTS when the payload is
+	// split across rails (see streamChunks). Each field is touched by one
+	// goroutine at a time: the CTS is dispatched by a single poller, and a
+	// backpressured stream resumes only through the deferred-work list,
+	// which hands the handle to exactly one retrier.
+	recvIdx   uint32 // receiver's handle index (T0 of every chunk)
+	chunkSize int    // bytes per chunk
+	stripe    int    // rails this transfer is striped across
+	rails     int    // total fabric rails (modulus for the rail mapping)
+	railBase  int    // first rail of the stripe (decorrelates transfers)
+	chunks    int    // total chunk count
+	sent      int    // chunks already accepted by the fabric
+}
+
+// chunkAt maps a send-sequence position to (chunk index, rail). Chunks are
+// enumerated rail-major — stripe slot s carries chunks s, s+stripe,
+// s+2*stripe, ... — so a contiguous run of positions shares a rail and
+// InjectBatch amortizes one producer-lock acquisition across it. The
+// receiver reassembles by offset, so the on-the-wire order is irrelevant.
+func (h *longSend) chunkAt(pos int) (ci, rail int) {
+	sw := h.stripe
+	for s := 0; s < sw; s++ {
+		onRail := (h.chunks - s + sw - 1) / sw // chunks carried by slot s
+		if pos < onRail {
+			return s + pos*sw, (h.railBase + s) % h.rails
+		}
+		pos -= onRail
+	}
+	panic("lci: chunk position out of range")
 }
 
 // longRecv is the receiver-side state of an accepted rendezvous.
@@ -204,4 +231,18 @@ type longRecv struct {
 	src  int
 	tag  uint32
 	put  bool // one-sided long put: completes into the put CQ
+
+	// Chunked reassembly: expect is the total payload size announced by the
+	// RTS; remaining counts undelivered bytes and is decremented atomically
+	// by each arriving chunk (Progress is multi-threaded, so chunks of one
+	// transfer can land concurrently). The decrement that reaches zero owns
+	// completion and sends the opLongFin notification back to sendIdx on the
+	// sender — chunks travel zero-copy out of the sender's buffer, so the
+	// sender may not complete (and the caller may not reuse the buffer)
+	// until the receiver has copied every chunk out. Plain int64 + atomic
+	// ops (not atomic.Int64) so the slot table's zero-value recycling stays
+	// copyable under vet.
+	expect    int
+	remaining int64
+	sendIdx   uint32
 }

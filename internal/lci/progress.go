@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"hpxgo/internal/fabric"
 )
@@ -11,6 +12,11 @@ import (
 // progressBatch bounds how many packets one Progress call drains, so a
 // progress caller cannot monopolize the engine indefinitely.
 const progressBatch = 64
+
+// chunkWave bounds how many chunks streamChunks hands to one InjectBatch
+// call: enough to amortize the producer lock across a rail's worth of
+// chunks, small enough for the scratch array to recycle cheaply.
+const chunkWave = 16
 
 // deferred holds fabric injections that hit backpressure inside the progress
 // engine (e.g. rendezvous payloads triggered by a CTS) and must be retried.
@@ -20,10 +26,28 @@ type deferred struct {
 	replay []*fabric.Packet // arrived packets to re-dispatch (resource pressure)
 }
 
+// deferKind says what a deferred entry represents and what completes when
+// its injection finally succeeds.
+type deferKind uint8
+
+const (
+	// deferLong: a monolithic opLongData payload; completes the long send.
+	deferLong deferKind = iota
+	// deferPut: a one-sided long put payload; completes the put.
+	deferPut
+	// deferControl: a control packet (CTS) that must not be lost — the
+	// rendezvous deadlocks without it. Nothing completes on injection.
+	deferControl
+	// deferChunks: a chunked rendezvous stream paused mid-payload. The
+	// entry carries only the send handle; the retry resumes streamChunks
+	// from the handle's cursor rather than re-injecting pkt.
+	deferChunks
+)
+
 type deferredSend struct {
 	pkt     fabric.Packet
 	sendIdx uint32 // send handle to complete+free once injected
-	put     bool   // one-sided long put (counts as a put, not a long send)
+	kind    deferKind
 }
 
 // Progress advances the communication engine: it drains arrived packets from
@@ -104,7 +128,24 @@ func (d *Device) completePutSend(sendIdx uint32) {
 // deferPutSend queues a backpressured put payload for retry.
 func (d *Device) deferPutSend(pkt fabric.Packet, sendIdx uint32) {
 	d.def.mu.Lock()
-	d.def.pkts = append(d.def.pkts, deferredSend{pkt: pkt, sendIdx: sendIdx, put: true})
+	d.def.pkts = append(d.def.pkts, deferredSend{pkt: pkt, sendIdx: sendIdx, kind: deferPut})
+	d.def.mu.Unlock()
+}
+
+// deferControl queues a backpressured control packet (CTS) for retry. Unlike
+// payload entries nothing completes when it lands — it just must not be
+// dropped.
+func (d *Device) deferControl(pkt fabric.Packet) {
+	d.def.mu.Lock()
+	d.def.pkts = append(d.def.pkts, deferredSend{pkt: pkt, kind: deferControl})
+	d.def.mu.Unlock()
+}
+
+// deferChunks parks a paused chunk stream; the next Progress pass resumes
+// it from the send handle's cursor.
+func (d *Device) deferChunks(sendIdx uint32) {
+	d.def.mu.Lock()
+	d.def.pkts = append(d.def.pkts, deferredSend{sendIdx: sendIdx, kind: deferChunks})
 	d.def.mu.Unlock()
 }
 
@@ -157,6 +198,11 @@ func (d *Device) dispatch(pkt *fabric.Packet) {
 	case opCTS:
 		d.handleCTS(pkt)
 		pkt.Release()
+	case opLongFin:
+		// Remote completion of a chunked (zero-copy) long send: the
+		// receiver has copied every borrowed chunk out of our buffer.
+		d.completeLongSend(uint32(pkt.T0))
+		pkt.Release()
 	case opPutRTS:
 		// One-sided long put: allocate the target buffer now, accept.
 		size := int(uint32(pkt.T1))
@@ -201,24 +247,135 @@ func (d *Device) dispatch(pkt *fabric.Packet) {
 		d.recvHandles.release(idx)
 		d.stats.longRecvd.Add(1)
 		pkt.Release()
+	case opLongChunk:
+		// One striped rendezvous chunk: T1 is its byte offset in the posted
+		// buffer, so the placement copy needs no ordering — chunks of one
+		// transfer land concurrently from different rails and different
+		// Progress callers. The atomic byte countdown (armed from the RTS
+		// size in acceptRTS) elects exactly one completer; every chunk's
+		// copy happens-before the final decrement observes zero.
+		idx := uint32(pkt.T0)
+		h := d.recvHandles.get(idx)
+		off := int(pkt.T1)
+		if off < len(h.buf) {
+			copy(h.buf[off:], pkt.Data)
+		}
+		if atomic.AddInt64(&h.remaining, -int64(len(pkt.Data))) == 0 {
+			n := h.expect
+			if n > len(h.buf) {
+				n = len(h.buf)
+			}
+			// Chunks travelled zero-copy out of the sender's buffer, so the
+			// sender completes only on this remote-completion notification —
+			// every chunk is copied out before the FIN is built.
+			fin := fabric.Packet{Dst: h.src, Op: opLongFin, T0: uint64(h.sendIdx)}
+			if h.comp != nil {
+				h.comp.signal(Request{Type: CompRecv, Rank: h.src, Tag: h.tag, Data: h.buf[:n], Ctx: h.ctx})
+			}
+			d.recvHandles.release(idx)
+			d.stats.longRecvd.Add(1)
+			if err := d.fdev.Inject(fin); errors.Is(err, fabric.ErrBackpressure) {
+				// Losing the FIN would leak the sender's handle and strand
+				// its completion; park it like a backpressured CTS.
+				d.stats.retries.Add(1)
+				d.deferControl(fin)
+			}
+		}
+		pkt.Release()
 	}
 }
 
-// handleCTS sends the rendezvous payload in response to a clear-to-send.
+// handleCTS sends the rendezvous payload in response to a clear-to-send:
+// either as the monolithic opLongData blob (chunking disabled, or the
+// payload fits one chunk) or as a chunk stream striped across rails.
 func (d *Device) handleCTS(cts *fabric.Packet) {
 	sendIdx := uint32(cts.T0)
 	recvIdx := uint32(cts.T1)
 	h := d.sendHandles.get(sendIdx)
-	out := fabric.Packet{Dst: h.dst, Op: opLongData, T0: uint64(recvIdx), Data: h.data}
-	if err := d.fdev.Inject(out); err != nil {
-		if errors.Is(err, fabric.ErrBackpressure) {
-			d.deferSend(out, sendIdx)
-			return
+	cs, sw := d.chunkPlan(h.dst, len(h.data))
+	if cs == 0 {
+		out := fabric.Packet{Dst: h.dst, Op: opLongData, T0: uint64(recvIdx), Data: h.data}
+		if err := d.fdev.Inject(out); err != nil {
+			if errors.Is(err, fabric.ErrBackpressure) {
+				d.deferSend(out, sendIdx)
+				return
+			}
+			// Unreachable with a validated destination; drop the handle to
+			// avoid leaking it.
 		}
-		// Unreachable with a validated destination; drop the handle to avoid
-		// leaking it.
+		d.completeLongSend(sendIdx)
+		return
 	}
-	d.completeLongSend(sendIdx)
+	h.recvIdx = recvIdx
+	h.chunkSize = cs
+	h.stripe = sw
+	h.rails = d.fdev.Rails()
+	// Rotate each transfer's first rail so concurrent narrow stripes from
+	// one sender spread over the rail set instead of piling onto rail 0.
+	h.railBase = int(sendIdx) % h.rails
+	h.chunks = (len(h.data) + cs - 1) / cs
+	h.sent = 0
+	d.streamChunks(sendIdx)
+}
+
+// streamChunks advances a chunked rendezvous stream: it cuts the payload
+// into chunkSize sub-slices, pins each to its stripe rail (rail-major
+// order, so consecutive wave entries share a rail and InjectBatch amortizes
+// the producer lock), and injects until the payload is fully on the wire or
+// a rail backpressures — in which case the stream parks on the deferred
+// list and resumes here, from h.sent, on a later Progress pass. The fabric
+// copies each chunk on inject, so completion (buffer reusable) fires as
+// soon as the last chunk is accepted.
+func (d *Device) streamChunks(sendIdx uint32) bool {
+	h := d.sendHandles.get(sendIdx)
+	wave := d.getWave()
+	progressed := false
+	for h.sent < h.chunks {
+		k := 0
+		for k < chunkWave && h.sent+k < h.chunks {
+			ci, railIdx := h.chunkAt(h.sent + k)
+			off := ci * h.chunkSize
+			end := off + h.chunkSize
+			if end > len(h.data) {
+				end = len(h.data)
+			}
+			wave[k] = fabric.Packet{
+				Dst:    h.dst,
+				Op:     opLongChunk,
+				Rail:   fabric.RailPin(railIdx),
+				T0:     uint64(h.recvIdx),
+				T1:     uint64(off),
+				T2:     uint64(len(h.data)),
+				Data:   h.data[off:end],
+				Borrow: true, // zero-copy: h.data stays pinned until the FIN
+			}
+			k++
+		}
+		n, err := d.fdev.InjectBatch(wave[:k])
+		h.sent += n
+		if n > 0 {
+			progressed = true
+		}
+		if err != nil {
+			if errors.Is(err, fabric.ErrBackpressure) {
+				d.stats.retries.Add(1)
+				d.putWave(wave)
+				d.deferChunks(sendIdx)
+				return progressed
+			}
+			// Unreachable with a validated destination; abandon the stream
+			// and complete locally so the handle is not leaked (no chunks
+			// means no FIN will ever arrive).
+			d.putWave(wave)
+			d.completeLongSend(sendIdx)
+			return true
+		}
+	}
+	// Every chunk is accepted, but the payload is only borrowed by the
+	// fabric: local completion (and the handle release that lets the caller
+	// reuse the buffer) waits for the receiver's opLongFin.
+	d.putWave(wave)
+	return true
 }
 
 // completeLongSend signals the sender's completion object and frees the
@@ -252,6 +409,14 @@ func (d *Device) retryDeferred() bool {
 
 	did := false
 	for i, ds := range pending {
+		if ds.kind == deferChunks {
+			// The stream re-parks itself on backpressure, so this entry is
+			// never tail-requeued below.
+			if d.streamChunks(ds.sendIdx) {
+				did = true
+			}
+			continue
+		}
 		if err := d.fdev.Inject(ds.pkt); err != nil {
 			if errors.Is(err, fabric.ErrBackpressure) {
 				d.def.mu.Lock()
@@ -261,10 +426,13 @@ func (d *Device) retryDeferred() bool {
 			}
 			continue
 		}
-		if ds.put {
+		switch ds.kind {
+		case deferPut:
 			d.completePutSend(ds.sendIdx)
-		} else {
+		case deferLong:
 			d.completeLongSend(ds.sendIdx)
+		case deferControl:
+			// Control packets complete nothing; landing is enough.
 		}
 		did = true
 	}

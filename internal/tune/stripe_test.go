@@ -1,0 +1,80 @@
+package tune
+
+import "testing"
+
+// stripeSim drives ticks with a controllable send size, so the stripe-width
+// law's inputs (rendezvous-dominated size histogram, egress depth) can be
+// set independently.
+func (s *sim) stripeTick(dst, sendSize int) {
+	tickNs := s.ctl.cfg.TickNs
+	step := tickNs / 8
+	for t := int64(0); t < tickNs; t += step {
+		s.now += step
+		s.ctl.ObserveSend(dst, sendSize, s.now)
+		s.ctl.ObserveParcel(dst, sendSize) // feeds the size histogram
+	}
+	s.ctl.Tick(s.now)
+}
+
+// TestStripeWidthLaw: rendezvous-heavy traffic on a shallow egress queue
+// widens the stripe to the rail count; a deep egress queue narrows it to
+// one rail; neutral traffic relaxes back to the configured seed; the
+// actuation never leaves [Min, Max].
+func TestStripeWidthLaw(t *testing.T) {
+	cfg := Config{Dests: 4, StripeWidth: 4, MinStripeWidth: 1, MaxStripeWidth: 8}
+	s := newSim(cfg)
+	const dst = 1
+
+	check := func(when string, want int) {
+		t.Helper()
+		got := s.ctl.StripeWidth(dst)
+		if got != want {
+			t.Fatalf("%s: StripeWidth = %d, want %d", when, got, want)
+		}
+		if got < cfg.MinStripeWidth || got > cfg.MaxStripeWidth {
+			t.Fatalf("%s: StripeWidth %d escaped [%d, %d]", when, got, cfg.MinStripeWidth, cfg.MaxStripeWidth)
+		}
+	}
+	check("seed", 4)
+
+	// Large (rendezvous-sized) sends, shallow queue: widen one rail per
+	// tick until the max.
+	s.depth = 0
+	for i := 0; i < 10; i++ {
+		s.stripeTick(dst, 128<<10)
+	}
+	check("after rendezvous-heavy ticks", cfg.MaxStripeWidth)
+
+	// Deep egress queue: concurrent traffic already fills the rails, so
+	// narrow one rail per tick down to the floor.
+	s.depth = depthDeep
+	for i := 0; i < 10; i++ {
+		s.stripeTick(dst, 128<<10)
+	}
+	check("after deep-queue ticks", cfg.MinStripeWidth)
+
+	// Congestion gone, small eager traffic: drift back to the seed and
+	// hold there. The size histogram is cumulative, so the workload shift
+	// must actually dilute the rendezvous mass below the bypass fraction
+	// before the relax branch takes over — hence the long run.
+	s.depth = 0
+	for i := 0; i < 100; i++ {
+		s.stripeTick(dst, 256)
+	}
+	check("after relaxation", cfg.StripeWidth)
+	s.stripeTick(dst, 256)
+	check("seed is a fixed point", cfg.StripeWidth)
+}
+
+// TestStripeWidthDefaults: an unconfigured controller pins the stripe width
+// to 1 (no multi-rail fabric announced), and out-of-range destinations fall
+// back to the configured seed.
+func TestStripeWidthDefaults(t *testing.T) {
+	s := newSim(Config{Dests: 2})
+	if got := s.ctl.StripeWidth(0); got != 1 {
+		t.Fatalf("default StripeWidth = %d, want 1", got)
+	}
+	if got := s.ctl.StripeWidth(1 << 20); got != s.ctl.cfg.StripeWidth {
+		t.Fatalf("out-of-range dst StripeWidth = %d, want seed %d", got, s.ctl.cfg.StripeWidth)
+	}
+}

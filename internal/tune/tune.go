@@ -77,6 +77,16 @@ type Config struct {
 	// MinZCThreshold floors the descent.
 	MinZCThreshold int
 
+	// StripeWidth seeds the per-destination rendezvous stripe width (how
+	// many rails one chunked long transfer spreads across). Zero seeds at
+	// MaxStripeWidth — use every rail until evidence says otherwise.
+	StripeWidth int
+	// MinStripeWidth / MaxStripeWidth bound the stripe-width actuation.
+	// MaxStripeWidth should be the fabric's rail count (widths above it are
+	// indistinguishable from it); both default to 1 when unset.
+	MinStripeWidth int
+	MaxStripeWidth int
+
 	// TickNs rate-gates the control pass.
 	TickNs int64
 	// PressureHigh is the per-tick retry delta that triggers threshold
@@ -114,6 +124,24 @@ func (c *Config) fillDefaults() {
 	if c.MinZCThreshold > c.ZCThreshold {
 		c.MinZCThreshold = c.ZCThreshold
 	}
+	if c.MinStripeWidth <= 0 {
+		c.MinStripeWidth = 1
+	}
+	if c.MaxStripeWidth <= 0 {
+		c.MaxStripeWidth = 1
+	}
+	if c.MinStripeWidth > c.MaxStripeWidth {
+		c.MinStripeWidth = c.MaxStripeWidth
+	}
+	if c.StripeWidth <= 0 {
+		c.StripeWidth = c.MaxStripeWidth
+	}
+	if c.StripeWidth < c.MinStripeWidth {
+		c.StripeWidth = c.MinStripeWidth
+	}
+	if c.StripeWidth > c.MaxStripeWidth {
+		c.StripeWidth = c.MaxStripeWidth
+	}
 	if c.TickNs <= 0 {
 		c.TickNs = 1_000_000 // 1ms
 	}
@@ -148,6 +176,7 @@ type peer struct {
 	coldIdleNs   atomic.Int64
 	bypass       atomic.Bool
 	zcThreshold  atomic.Int64
+	stripe       atomic.Int64
 
 	// Observations (per-message ingest).
 	lastSendNs atomic.Int64
@@ -173,6 +202,7 @@ type PeerSnapshot struct {
 	ColdIdleNs   int64
 	Bypass       bool
 	ZCThreshold  int
+	StripeWidth  int
 	GapEwmaNs    int64
 	Sends        uint64
 }
@@ -200,6 +230,7 @@ func NewController(cfg Config, sig Signals) *Controller {
 		p.flushDelayNs.Store(cfg.FlushDelayNs)
 		p.coldIdleNs.Store(4 * cfg.FlushDelayNs)
 		p.zcThreshold.Store(int64(cfg.ZCThreshold))
+		p.stripe.Store(int64(cfg.StripeWidth))
 	}
 	return c
 }
@@ -219,6 +250,7 @@ func (c *Controller) Peer(dst int) PeerSnapshot {
 		ColdIdleNs:   p.coldIdleNs.Load(),
 		Bypass:       p.bypass.Load(),
 		ZCThreshold:  int(p.zcThreshold.Load()),
+		StripeWidth:  int(p.stripe.Load()),
 		GapEwmaNs:    p.gapEwmaNs.Load(),
 		Sends:        p.sends.Load(),
 	}
@@ -283,6 +315,16 @@ func (c *Controller) Threshold(dst int) int {
 		return c.cfg.ZCThreshold
 	}
 	return int(c.peers[dst].zcThreshold.Load())
+}
+
+// StripeWidth returns dst's effective rendezvous stripe width. Implements
+// the lci device's stripe-tuner hook. Always within
+// [MinStripeWidth, MaxStripeWidth].
+func (c *Controller) StripeWidth(dst int) int {
+	if dst < 0 || dst >= len(c.peers) {
+		return c.cfg.StripeWidth
+	}
+	return int(c.peers[dst].stripe.Load())
 }
 
 // ObserveParcel records one outbound parcel's payload size toward dst
@@ -406,6 +448,29 @@ func (c *Controller) tunePeer(dst int, pressure uint64) {
 		size = clamp64(size+step, int64(cfg.MinFlushBytes), int64(cfg.MaxFlushBytes))
 	}
 	p.flushBytes.Store(size)
+
+	// --- stripe width: widen when single large transfers are the traffic,
+	// narrow when concurrent traffic already fills every rail ---
+	// A wide stripe multiplies one transfer's bandwidth only while rails
+	// are otherwise idle. Rendezvous-dominated traffic on a shallow egress
+	// queue is exactly that shape, so widen one rail per tick toward the
+	// max. A deep egress queue means many transfers already saturate the
+	// rail set; striping each of them wider only interleaves packets
+	// without adding bandwidth and costs per-chunk overhead, so narrow.
+	// Otherwise drift one step per tick back to the configured seed. One
+	// rail per tick keeps the law monotone toward its clamped target.
+	sw := p.stripe.Load()
+	switch {
+	case depth >= depthDeep:
+		sw--
+	case active && p.sizeHist.FractionAtLeast(cfg.ZCThreshold) >= bypassLargeFrac && depth < depthDeep:
+		sw++
+	case sw < int64(cfg.StripeWidth):
+		sw++
+	case sw > int64(cfg.StripeWidth):
+		sw--
+	}
+	p.stripe.Store(clamp64(sw, int64(cfg.MinStripeWidth), int64(cfg.MaxStripeWidth)))
 
 	// --- eager/rendezvous threshold: descend under pool pressure when this
 	// destination actually carries large messages, recover after calm ---
