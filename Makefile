@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver bench-collectives bench-msgrate bench-autotune bench-rendezvous bench-latency bench-gate fuzz examples experiments clean
+.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver bench-collectives bench-msgrate bench-autotune bench-rendezvous bench-latency bench-serve bench-gate fuzz examples experiments clean
 
 all: build vet test
 
 # The full gate: build, vet, formatting, tests, the race detector over the
 # concurrency-heavy packages (communication libraries, fabric ARQ,
-# parcelports), the collectives perf snapshot, and the message-rate
-# regression gate.
-check: build vet fmt-check test race alloc-gate bench-collectives bench-gate
+# parcelports, serving tier), the collectives perf snapshot, the serving-tier
+# SLO snapshot, and the message-rate/rendezvous/latency/serve regression
+# gate.
+check: build vet fmt-check test race alloc-gate bench-collectives bench-serve bench-gate
 
 # The receiver-datapath allocation gate: delivering a warm eager-sized bundle
 # must not allocate (see DESIGN.md §9). Run with -count=1 so a cached pass
@@ -20,6 +21,7 @@ alloc-gate:
 	$(GO) test ./internal/serialization/ -run TestDecodeIntoSteadyStateAllocs -count=1
 	$(GO) test ./internal/tune/ -run TestSteadyStatePathsZeroAlloc -count=1
 	$(GO) test ./internal/lci/ -run TestChunkedZeroAllocSteadyState -count=1
+	$(GO) test ./internal/serve/ -run 'TestServeCachedGetZeroAllocs|TestTokenBucketZeroAllocs' -count=1
 
 build:
 	$(GO) build ./...
@@ -37,16 +39,18 @@ test:
 	$(GO) test ./... -timeout 900s
 
 race:
-	$(GO) test -race ./internal/lci/... ./internal/mpisim/... ./internal/fabric/... ./internal/parcelport/... ./internal/amt/... ./internal/core/... -timeout 1800s
+	$(GO) test -race ./internal/lci/... ./internal/mpisim/... ./internal/fabric/... ./internal/parcelport/... ./internal/amt/... ./internal/core/... ./internal/serve/... -timeout 1800s
 
 bench:
 	$(GO) test -bench=. -benchmem ./... -timeout 3600s
 
 # Fabric datapath microbenchmarks: per-packet inject/poll cost, allocation
 # counts, and the poll-cost-vs-cluster-size scaling the ready index flattens
-# (see results/fabric-datapath.txt for recorded before/after numbers).
+# (results/fabric-datapath.txt has the prose before/after; BENCH_fabric.json
+# is the machine-readable artifact, claims-checked on regeneration).
 bench-fabric:
 	$(GO) test -bench 'BenchmarkInjectPoll|BenchmarkPoll' -benchmem ./internal/fabric/ -timeout 1800s
+	$(GO) run ./cmd/experiments -scale quick -out results fabric-bench
 
 # Flat-vs-tree collectives latency sweep, emitting the machine-readable
 # BENCH_collectives.json (op, impl, nodes, ns/op, allocs/op, commit) next to
@@ -57,11 +61,14 @@ bench-collectives:
 	$(GO) run ./cmd/experiments -scale quick -out results collectives
 
 # Receiver datapath microbenchmarks: bundled-message delivery (decode +
-# dispatch + spawn + execute) and batched task spawn (see
-# results/receiver-datapath.txt for recorded before/after numbers).
+# dispatch + spawn + execute) and batched task spawn
+# (results/receiver-datapath.txt has the prose before/after;
+# BENCH_deliver.json is the machine-readable artifact, claims-checked on
+# regeneration).
 bench-deliver:
 	$(GO) test -bench BenchmarkDeliverBundle -benchmem ./internal/core/ -timeout 1800s
 	$(GO) test -bench BenchmarkSpawnBatch -benchmem ./internal/amt/ -timeout 1800s
+	$(GO) run ./cmd/experiments -scale quick -out results deliver-bench
 
 # Regenerate the committed message-rate regression baseline
 # (results/BENCH_msgrate.json). Pinned to quick scale — the same scale
@@ -78,9 +85,20 @@ bench-rendezvous:
 
 # Regenerate the committed small/medium latency snapshot
 # (results/BENCH_latency.json): one-way 8 B and 16 KiB latency at 1 and 8
-# workers. Informational (no hard gate); quick scale for comparability.
+# workers. Gated by bench-gate with noise-band-derived factors (2x mean/p50,
+# 3x p99 — see EXPERIMENTS.md); pinned to quick scale, the same scale
+# bench-gate runs at.
 bench-latency:
 	$(GO) run ./cmd/experiments -scale quick -out results latency-bench
+
+# Regenerate the committed serving-tier SLO baseline
+# (results/BENCH_serve.json): KV throughput and tail latency with the
+# hot-key cache, single-flight coalescing, and admission control toggled
+# per row. Claims-checked on every run (cache >= 2x cache-off on the Zipf
+# mix; admission bounds the overload tail). Pinned to quick scale — the
+# same scale bench-gate runs at.
+bench-serve:
+	$(GO) run ./cmd/experiments -scale quick -out results serve
 
 # Adaptive-vs-static acceptance sweep: the self-tuning runtime must match or
 # beat every hand-tuned static config on every workload (within the noise
@@ -88,8 +106,9 @@ bench-latency:
 bench-autotune:
 	$(GO) run ./cmd/experiments -scale quick -out results autotune
 
-# Re-measure the gated message-rate rows and compare against the committed
-# baseline; fails on ns/op or allocs/op step regressions.
+# Re-measure the gated rows (message rate, rendezvous, latency, serve) and
+# compare against the committed baselines; fails on step regressions and on
+# broken structural claims.
 bench-gate:
 	$(GO) run ./cmd/experiments -scale quick bench-gate
 

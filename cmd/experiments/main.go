@@ -36,7 +36,7 @@ func main() {
 	format := flag.String("format", "text", "figure output format: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick] [-out dir] <target>...\n")
-		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability collectives autotune msgrate-bench rendezvous-bench latency-bench bench-gate all\n")
+		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability collectives autotune msgrate-bench rendezvous-bench latency-bench serve fabric-bench deliver-bench bench-gate all\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -84,6 +84,12 @@ func main() {
 			text, extra, err = runRendezvousBench(sc, *scale)
 		case "latency-bench":
 			text, extra, err = runLatencyBench(sc, *scale)
+		case "serve":
+			text, extra, err = runServeBench(sc, *scale)
+		case "fabric-bench":
+			text, extra, err = runDatapathBench(sc, *scale, "BENCH_fabric.json", bench.FabricBench)
+		case "deliver-bench":
+			text, extra, err = runDatapathBench(sc, *scale, "BENCH_deliver.json", bench.DeliverBench)
 		case "bench-gate":
 			text, err = runBenchGate(sc, *scale)
 		default:
@@ -196,15 +202,54 @@ func runLatencyBench(sc bench.Scale, scaleName string) (string, map[string][]byt
 	return rep.Text(), map[string][]byte{"BENCH_latency.json": js}, nil
 }
 
+// runServeBench drives the serving-tier load mixes (cache on/off, Zipf vs
+// uniform, admission) and emits BENCH_serve.json. Fails if the cache
+// speedup or admission claims don't hold.
+func runServeBench(sc bench.Scale, scaleName string) (string, map[string][]byte, error) {
+	rep, err := bench.ServeBench(sc, scaleName)
+	if err != nil {
+		if rep == nil {
+			return "", nil, err
+		}
+		return "", nil, fmt.Errorf("%w\n%s", err, rep.Text())
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		return "", nil, err
+	}
+	return rep.Text(), map[string][]byte{"BENCH_serve.json": js}, nil
+}
+
+// runDatapathBench measures one datapath artifact (fabric or receiver) and
+// emits it under the given artifact name. Fails if the flatness/zero-alloc
+// claims don't hold.
+func runDatapathBench(sc bench.Scale, scaleName, artifact string, f func(bench.Scale, string) (*bench.DatapathReport, error)) (string, map[string][]byte, error) {
+	rep, err := f(sc, scaleName)
+	if err != nil {
+		if rep == nil {
+			return "", nil, err
+		}
+		return "", nil, fmt.Errorf("%w\n%s", err, rep.Text())
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		return "", nil, err
+	}
+	return rep.Text(), map[string][]byte{artifact: js}, nil
+}
+
 // Committed baselines bench-gate checks against.
 const (
 	benchGateArtifact      = "results/BENCH_msgrate.json"
 	rendezvousGateArtifact = "results/BENCH_rendezvous.json"
+	serveGateArtifact      = "results/BENCH_serve.json"
+	latencyGateArtifact    = "results/BENCH_latency.json"
 )
 
-// runBenchGate re-measures the gated rows (message rate and rendezvous
-// bandwidth) and compares them against the committed artifacts, failing on
-// ns/op or allocs/op regression and on broken striping claims.
+// runBenchGate re-measures the gated rows (message rate, rendezvous
+// bandwidth, latency, serving tier) and compares them against the committed
+// artifacts, failing on throughput/ns-per-op/allocs regressions, on broken
+// striping claims, and on broken serve cache/admission claims.
 func runBenchGate(sc bench.Scale, scaleName string) (string, error) {
 	data, err := os.ReadFile(benchGateArtifact)
 	if err != nil {
@@ -239,7 +284,41 @@ func runBenchGate(sc bench.Scale, scaleName string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("%w\n%s", err, rtext)
 	}
-	return text + "\n" + rtext, nil
+
+	ldata, err := os.ReadFile(latencyGateArtifact)
+	if err != nil {
+		return "", fmt.Errorf("bench-gate: %w (run `make bench-latency` and commit the artifact)", err)
+	}
+	lcommitted, err := bench.ParseLatencyReport(ldata)
+	if err != nil {
+		return "", err
+	}
+	lfresh, err := bench.LatencyBench(sc, scaleName)
+	if err != nil {
+		return "", err
+	}
+	ltext, err := bench.LatencyGate(lfresh, lcommitted)
+	if err != nil {
+		return "", fmt.Errorf("%w\n%s", err, ltext)
+	}
+
+	sdata, err := os.ReadFile(serveGateArtifact)
+	if err != nil {
+		return "", fmt.Errorf("bench-gate: %w (run `make bench-serve` and commit the artifact)", err)
+	}
+	scommitted, err := bench.ParseServeReport(sdata)
+	if err != nil {
+		return "", err
+	}
+	sfresh, err := bench.ServeBench(sc, scaleName)
+	if err != nil && sfresh == nil {
+		return "", err
+	}
+	stext, err := bench.ServeGate(sfresh, scommitted)
+	if err != nil {
+		return "", fmt.Errorf("%w\n%s", err, stext)
+	}
+	return text + "\n" + rtext + "\n" + ltext + "\n" + stext, nil
 }
 
 // run executes one target at the given scale.

@@ -26,6 +26,7 @@ func TestExamplesRun(t *testing.T) {
 		{"graphbfs", "verified: results match"},
 		{"poisson", "verified against the manufactured solution"},
 		{"dfft", "verified: distributed FFT matches the serial reference"},
+		{"kvserve", "verified: serving tier absorbed the hot set"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -11,8 +11,9 @@ import (
 // small fixed set of (size, window) points, committed as
 // results/BENCH_latency.json so latency regressions show up in perf
 // history the same way message-rate and collectives regressions do.
-// Latency on a shared host is jitter-prone, so the artifact records the
-// trajectory without wiring a hard gate into `make check`.
+// Latency on a shared host is jitter-prone, so the gate factors below are
+// derived from the measured run-to-run noise band rather than the tighter
+// throughput-gate tolerances (see LatencyGate).
 
 // LatencyRecord is one measured (size, window) row.
 type LatencyRecord struct {
@@ -57,9 +58,12 @@ func LatencyBench(sc Scale, scaleName string) (*LatencyReport, error) {
 		Generated: time.Now().Format(time.RFC3339),
 		Scale:     scaleName,
 	}
+	// Best-of-N by mean: the minimum of a noisy distribution stabilizes as
+	// N grows, and each rep costs ~25 ms at quick scale. Best-of-2 wandered
+	// ~2.8x run to run on the 8B mean; best-of-5 holds the gate band.
 	reps := sc.Reps
-	if reps < 2 {
-		reps = 2
+	if reps < 5 {
+		reps = 5
 	}
 	for _, pt := range latencyPoints(sc) {
 		rec := LatencyRecord{Op: pt.op}
@@ -104,4 +108,60 @@ func ParseLatencyReport(data []byte) (*LatencyReport, error) {
 		return nil, fmt.Errorf("bench: bad BENCH_latency.json: %w", err)
 	}
 	return &r, nil
+}
+
+// Latency gate tolerances, set from the measured noise band at quick scale
+// on the 1-CPU CI host: across 5 repeated best-of-5 runs the mean and p50
+// wander up to ~2.1x between the fastest and slowest run, the p99 up to
+// ~2.2x (a single descheduling spike lands in the tail). The factors leave
+// headroom over the worst observed fresh-vs-committed wander, so a true
+// step regression (eager-path work doubling, a lost fast path —
+// historically 3x+) still fails while honest jitter passes.
+// Characterization recorded in EXPERIMENTS.md.
+const (
+	latGateMeanFactor = 2.5 // mean and p50
+	latGateTailFactor = 3.0 // p99
+)
+
+// LatencyGate compares a fresh measurement against the committed artifact:
+// mean and p50 must stay within latGateMeanFactor of the committed row,
+// p99 within latGateTailFactor. Max is recorded but not gated — a single
+// worst packet is pure scheduler luck on a shared host.
+func LatencyGate(fresh, committed *LatencyReport) (string, error) {
+	if fresh.Scale != committed.Scale {
+		return "", fmt.Errorf("bench: gate scale %q vs committed artifact scale %q — regenerate the artifact at the gate's scale",
+			fresh.Scale, committed.Scale)
+	}
+	byOp := map[string]LatencyRecord{}
+	for _, rec := range fresh.Records {
+		byOp[rec.Op] = rec
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# latency gate vs committed commit %s\n", committed.Commit)
+	fmt.Fprintf(&b, "%-26s %16s %16s %16s %8s\n", "op", "mean new/old", "p50 new/old", "p99 new/old", "verdict")
+	var failures []string
+	for _, old := range committed.Records {
+		cur, ok := byOp[old.Op]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: row missing from fresh run", old.Op))
+			continue
+		}
+		verdict := "ok"
+		check := func(name string, curV, oldV, factor float64) {
+			if oldV > 0 && curV > oldV*factor {
+				verdict = "SLOWER"
+				failures = append(failures, fmt.Sprintf("%s: %s %.2fus > %.1fx committed %.2fus",
+					old.Op, name, curV, factor, oldV))
+			}
+		}
+		check("mean", cur.MeanUs, old.MeanUs, latGateMeanFactor)
+		check("p50", cur.P50Us, old.P50Us, latGateMeanFactor)
+		check("p99", cur.P99Us, old.P99Us, latGateTailFactor)
+		fmt.Fprintf(&b, "%-26s %7.1f/%-8.1f %7.1f/%-8.1f %7.1f/%-8.1f %8s\n",
+			old.Op, cur.MeanUs, old.MeanUs, cur.P50Us, old.P50Us, cur.P99Us, old.P99Us, verdict)
+	}
+	if len(failures) > 0 {
+		return b.String(), fmt.Errorf("bench: latency regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return b.String(), nil
 }

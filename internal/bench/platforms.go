@@ -118,6 +118,19 @@ type Scale struct {
 	// Collectives scaling (flat vs tree latency sweep).
 	CollNodes []int // simulated locality counts
 	CollIters int   // collectives timed per repetition
+
+	// Serving tier (KV over the runtime: cache + coalescing + admission).
+	ServeLocalities int     // localities (locality 0 is the client-only driver)
+	ServeClients    int     // simulated clients on the driver
+	ServeTotal      int     // total requests per row
+	ServeKeys       int     // keyspace size
+	ServeCache      int     // client cache entries (must be << ServeKeys)
+	ServeRate       float64 // aggregate offered ops/s (overdrives capacity)
+	ServeAdmitRate  float64 // shard admission rate for the admit row, ops/s
+
+	// Datapath artifacts (BENCH_fabric.json / BENCH_deliver.json).
+	FabricIters  int // timed iterations per fabric row (~35-350 ns each)
+	DeliverIters int // timed iterations per deliver row (~1-11 us each)
 }
 
 // FullScale is used by cmd/experiments: large enough for stable rates on a
@@ -143,6 +156,17 @@ func FullScale() Scale {
 		OctoLevelRost: 2,
 		CollNodes:     []int{8, 16, 32, 64, 128, 256},
 		CollIters:     3,
+
+		ServeLocalities: 4,
+		ServeClients:    400,
+		ServeTotal:      40000,
+		ServeKeys:       2048,
+		ServeCache:      256,
+		ServeRate:       400e3,
+		ServeAdmitRate:  10e3,
+
+		FabricIters:  200000,
+		DeliverIters: 20000,
 	}
 }
 
@@ -165,6 +189,15 @@ func QuickScale() Scale {
 	s.OctoLevelRost = 2
 	s.CollNodes = []int{4, 8, 16}
 	s.CollIters = 2
+	s.ServeLocalities = 3
+	s.ServeClients = 200
+	s.ServeTotal = 20000
+	s.ServeKeys = 2048
+	s.ServeCache = 256
+	s.ServeRate = 400e3
+	s.ServeAdmitRate = 10e3
+	s.FabricIters = 50000
+	s.DeliverIters = 5000
 	return s
 }
 

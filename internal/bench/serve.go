@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"hpxgo/internal/core"
+	"hpxgo/internal/serve"
+)
+
+// Serving-tier benchmark: the sharded KV service (internal/serve) under an
+// open-loop load that overdrives capacity, with the hot-key cache and miss
+// coalescing toggled per row. This is the claims-checked artifact behind
+// the serving tier's headline: on a Zipf-popular key mix, the per-locality
+// cache plus single-flight coalescing must at least double throughput over
+// the cache-off baseline while keeping the p99 bounded (shed requests are
+// refused fast instead of queueing). Committed as results/BENCH_serve.json
+// and re-checked by `make bench-gate`.
+
+// ServeRecord is one measured load-mix row.
+type ServeRecord struct {
+	Op        string  `json:"op"`      // e.g. "serve/zipf/cache"
+	OpsSec    float64 `json:"ops_sec"` // completed requests per second
+	P50Us     float64 `json:"p50_us"`  // latency from *scheduled* arrival
+	P99Us     float64 `json:"p99_us"`
+	P999Us    float64 `json:"p999_us"`
+	HitRate   float64 `json:"hit_rate"`  // cache hits / remote GETs
+	ShedFrac  float64 `json:"shed_frac"` // shed (admission+backpressure) / offered
+	Completed int     `json:"completed"`
+	Offered   int     `json:"offered"`
+}
+
+// ServeReport is the artifact: rows plus provenance, the same shape as the
+// other BENCH_*.json artifacts.
+type ServeReport struct {
+	Commit    string        `json:"commit"`
+	Generated string        `json:"generated"`
+	Scale     string        `json:"scale"`
+	Records   []ServeRecord `json:"records"`
+}
+
+// Structural claims checked on every fresh report.
+const (
+	// serveCacheSpeedupMin: on the Zipf mix at saturation (closed-loop),
+	// cache + coalescing must reach at least this multiple of the
+	// cache-off baseline's throughput. The hot set fits the cache while
+	// the keyspace does not, so most GETs are served locally; 2x leaves
+	// headroom below the ~3x measured ratio.
+	serveCacheSpeedupMin = 2.0
+	// serveHitRateMin: the Zipf row's cache hit rate. Zipf(1.2) over a
+	// keyspace 8x the cache capacity concentrates ~85% of draws in the
+	// cacheable hot set; CLOCK approximation and write-through churn eat
+	// some of that.
+	serveHitRateMin = 0.5
+	// serveShedMin: the admission row must actually engage the shard token
+	// bucket — an admission benchmark where nothing sheds measures nothing.
+	serveShedMin = 0.05
+	// serveAdmitP99Factor: with admission shedding the excess instead of
+	// queueing it, the admit row's p99 must not exceed the unprotected
+	// overload row's p99 (same offered rate, same cache-off config). In
+	// practice shedding wins by >10x; 1.0 is the claim's floor.
+	serveAdmitP99Factor = 1.0
+	// serveGateTailFactor: gate tolerance for the cache row's p99 against
+	// the committed artifact. Closed-loop p99 on the 1-CPU host is
+	// scheduler jitter among hundreds of client goroutines and wanders
+	// ~3.3x run to run (measured 2.0-6.6 ms across repeated gate runs,
+	// and a committed value can land at the low end of that band), so
+	// the throughput gate's 1.8x is far too tight for this column. A
+	// queueing collapse is 10x+ (see the overload row), still caught.
+	serveGateTailFactor = 5.0
+)
+
+// Row names the claims reference.
+const (
+	serveZipfCache   = "serve/zipf/cache"
+	serveZipfNoCache = "serve/zipf/nocache"
+	serveUniformRow  = "serve/uniform/cache"
+	serveOverRow     = "serve/zipf/overload"
+	serveAdmitRow    = "serve/zipf/admit"
+)
+
+// servePoint is one artifact row: a service configuration plus a load mix.
+type servePoint struct {
+	op   string
+	cfg  serve.Config
+	load serve.LoadParams
+}
+
+// servePoints enumerates the rows. The first three run closed-loop
+// (Rate=0): every client issues back-to-back, so throughput is service
+// capacity and the speedup row ratio is capacity vs capacity. The last two
+// run open-loop at ServeRate — chosen well above the cache-off capacity —
+// so the unprotected row shows the queueing-delay blowup of overload and
+// the admission row shows the token bucket converting that backlog into
+// fast refusals with a bounded tail.
+func servePoints(sc Scale) []servePoint {
+	owners := make([]int, sc.ServeLocalities-1)
+	for i := range owners {
+		owners[i] = i + 1 // locality 0 is the client-only driver
+	}
+	base := serve.Config{Owners: owners, CacheEntries: sc.ServeCache, CallTimeout: 2 * time.Minute}
+	closed := serve.LoadParams{
+		Clients: sc.ServeClients,
+		Total:   sc.ServeTotal,
+		Keys:    sc.ServeKeys,
+		Zipf:    true,
+		Timeout: 10 * time.Minute,
+	}
+	nocache := base
+	nocache.CacheEntries = -1
+	admit := nocache
+	admit.AdmitRate = sc.ServeAdmitRate
+	// Tight client-side queue-depth bound: excess requests are refused
+	// before they are sent, so a shed costs nothing and the completed
+	// requests' tail reflects service time, not schedule slip.
+	admit.MaxOutstanding = 32
+	uniform := closed
+	uniform.Zipf = false
+	open := closed
+	open.Rate = sc.ServeRate
+	return []servePoint{
+		{serveZipfCache, base, closed},
+		{serveZipfNoCache, nocache, closed},
+		{serveUniformRow, base, uniform},
+		{serveOverRow, nocache, open},
+		{serveAdmitRow, admit, open},
+	}
+}
+
+// serveRow builds a fresh runtime and service for one row, preloads the
+// keyspace, and drives the load.
+func serveRow(sc Scale, pt servePoint) (ServeRecord, error) {
+	rt, err := core.NewRuntime(core.Config{
+		Localities:         sc.ServeLocalities,
+		WorkersPerLocality: 2,
+		Parcelport:         "lci",
+		Aggregation:        true,
+	})
+	if err != nil {
+		return ServeRecord{}, err
+	}
+	svc, err := serve.New(rt, pt.cfg)
+	if err != nil {
+		return ServeRecord{}, err
+	}
+	if err := rt.Start(); err != nil {
+		return ServeRecord{}, err
+	}
+	defer rt.Shutdown()
+	svc.Preload(serve.KeySet(pt.load.Keys), make([]byte, 64))
+	// Best-of-2 by throughput: a single GC or descheduling stall on the
+	// 1-CPU host lands in *every* open-loop latency (measured from the
+	// scheduled arrival, so the stall is honestly billed) and can poison a
+	// whole row — observed once as a 242 ms admit-row p99 against a stable
+	// 11 ms. The stalled rep also loses throughput, so keeping the faster
+	// rep keeps the stall-free one. Stalls are rare and independent, so
+	// two reps make a poisoned row vanishingly unlikely.
+	var best ServeRecord
+	for r := 0; r < 2; r++ {
+		res, err := serve.RunLoad(svc, 0, pt.load)
+		if err != nil {
+			return ServeRecord{}, fmt.Errorf("%s: %w", pt.op, err)
+		}
+		rec := ServeRecord{
+			Op:        pt.op,
+			OpsSec:    res.Throughput,
+			P50Us:     res.P50Us,
+			P99Us:     res.P99Us,
+			P999Us:    res.P999Us,
+			HitRate:   res.HitRate,
+			ShedFrac:  res.ShedFrac,
+			Completed: res.Completed,
+			Offered:   res.Offered,
+		}
+		if r == 0 || rec.OpsSec > best.OpsSec {
+			best = rec
+		}
+	}
+	return best, nil
+}
+
+// ServeBench measures every row and checks the structural claims. On a
+// claims failure the partial report is returned alongside the error so the
+// caller can print the rows.
+func ServeBench(sc Scale, scaleName string) (*ServeReport, error) {
+	rep := &ServeReport{
+		Commit:    gitCommit(),
+		Generated: time.Now().Format(time.RFC3339),
+		Scale:     scaleName,
+	}
+	for _, pt := range servePoints(sc) {
+		rec, err := serveRow(sc, pt)
+		if err != nil {
+			return nil, fmt.Errorf("serve bench %s: %w", pt.op, err)
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	if err := ServeClaims(rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// ServeClaims validates the report's structural claims: the cache/coalescing
+// speedup on the Zipf mix, a credible hit rate behind it, and admission
+// control that sheds instead of queueing.
+func ServeClaims(r *ServeReport) error {
+	byOp := map[string]ServeRecord{}
+	for _, rec := range r.Records {
+		byOp[rec.Op] = rec
+	}
+	cache, nocache := byOp[serveZipfCache], byOp[serveZipfNoCache]
+	over, admit := byOp[serveOverRow], byOp[serveAdmitRow]
+	var failures []string
+	if nocache.OpsSec > 0 && cache.OpsSec < nocache.OpsSec*serveCacheSpeedupMin {
+		failures = append(failures, fmt.Sprintf("cache speedup %.2fx < %.1fx (cache %.0f ops/s vs nocache %.0f ops/s)",
+			cache.OpsSec/nocache.OpsSec, serveCacheSpeedupMin, cache.OpsSec, nocache.OpsSec))
+	}
+	if cache.HitRate < serveHitRateMin {
+		failures = append(failures, fmt.Sprintf("zipf hit rate %.2f < %.2f (cache not absorbing the hot set)",
+			cache.HitRate, serveHitRateMin))
+	}
+	if admit.ShedFrac < serveShedMin {
+		failures = append(failures, fmt.Sprintf("admit row shed fraction %.3f < %.2f (token bucket never engaged)",
+			admit.ShedFrac, serveShedMin))
+	}
+	if over.P99Us > 0 && admit.P99Us > over.P99Us*serveAdmitP99Factor {
+		failures = append(failures, fmt.Sprintf("admit p99 %.0fus > %.1fx unprotected overload p99 %.0fus (shedding is not bounding the tail)",
+			admit.P99Us, serveAdmitP99Factor, over.P99Us))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: serve claims failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// JSON renders the report as the BENCH_serve.json artifact.
+func (r *ServeReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Text renders the rows for the experiments output.
+func (r *ServeReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# serving-tier rows (commit %s)\n", r.Commit)
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s %9s %9s\n",
+		"op", "ops/s", "p50_us", "p99_us", "p999_us", "hit_rate", "shed")
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "%-22s %10.0f %10.1f %10.1f %10.1f %9.2f %9.2f\n",
+			rec.Op, rec.OpsSec, rec.P50Us, rec.P99Us, rec.P999Us, rec.HitRate, rec.ShedFrac)
+	}
+	return b.String()
+}
+
+// ParseServeReport decodes a committed BENCH_serve.json.
+func ParseServeReport(data []byte) (*ServeReport, error) {
+	var r ServeReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: bad BENCH_serve.json: %w", err)
+	}
+	return &r, nil
+}
+
+// ServeGate compares a fresh measurement against the committed artifact —
+// throughput must not fall below 1/gateNsOpFactor of the committed row, the
+// cache row's p99 must not exceed serveGateTailFactor times the committed
+// one — and re-validates the structural claims on the fresh rows.
+func ServeGate(fresh, committed *ServeReport) (string, error) {
+	if fresh.Scale != committed.Scale {
+		return "", fmt.Errorf("bench: gate scale %q vs committed artifact scale %q — regenerate the artifact at the gate's scale",
+			fresh.Scale, committed.Scale)
+	}
+	byOp := map[string]ServeRecord{}
+	for _, rec := range fresh.Records {
+		byOp[rec.Op] = rec
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# serve gate vs committed commit %s\n", committed.Commit)
+	fmt.Fprintf(&b, "%-22s %18s %18s %8s\n", "op", "ops/s new/old", "p99_us new/old", "verdict")
+	var failures []string
+	for _, old := range committed.Records {
+		cur, ok := byOp[old.Op]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: row missing from fresh run", old.Op))
+			continue
+		}
+		verdict := "ok"
+		if old.OpsSec > 0 && cur.OpsSec < old.OpsSec/gateNsOpFactor {
+			verdict = "SLOWER"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ops/s < committed %.0f / %.1f",
+				old.Op, cur.OpsSec, old.OpsSec, gateNsOpFactor))
+		}
+		// Only the cache row's tail is a stable promise: the overdriven
+		// baseline rows' p99 is queueing delay by design. It gets the
+		// wider noise-band factor, not the throughput one.
+		if old.Op == serveZipfCache && old.P99Us > 0 && cur.P99Us > old.P99Us*serveGateTailFactor {
+			verdict = "TAIL"
+			failures = append(failures, fmt.Sprintf("%s: p99 %.0fus > %.1fx committed %.0fus",
+				old.Op, cur.P99Us, serveGateTailFactor, old.P99Us))
+		}
+		fmt.Fprintf(&b, "%-22s %8.0f/%-9.0f %8.0f/%-9.0f %8s\n",
+			old.Op, cur.OpsSec, old.OpsSec, cur.P99Us, old.P99Us, verdict)
+	}
+	if err := ServeClaims(fresh); err != nil {
+		failures = append(failures, err.Error())
+	}
+	if len(failures) > 0 {
+		return b.String(), fmt.Errorf("bench: serve regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return b.String(), nil
+}

@@ -825,6 +825,12 @@ func (d *delivery) unref() {
 	d.l.delivPool.Put(d)
 }
 
+// Deliver feeds a message straight into the locality's receiver datapath,
+// exactly as the parcelport's delivery callback would. It exists for the
+// datapath benchmark harness (internal/bench), which measures the decode →
+// dispatch → spawn → execute path without a wire in between.
+func (l *Locality) Deliver(m *serialization.Message) { l.deliver(m) }
+
 // deliver is the parcelport's delivery callback: decode the HPX message
 // into a pooled parcel slab and batch-spawn one task per parcel. In steady
 // state the whole path — decode, dispatch, spawn, execute, buffer recycle —

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sync/atomic"
+)
+
+// Admission control has two layers, both designed to shed load *before* the
+// tail collapses rather than to queue it:
+//
+//   - a server-side token bucket (tokenBucket) on every shard, bounding the
+//     request rate one locality accepts: requests beyond rate+burst are
+//     answered with statusShed immediately, which costs one tiny reply
+//     parcel instead of an unbounded stay in the run queue;
+//   - a client-side queue-depth bound (the outstanding gauge in Client),
+//     capping in-flight requests per destination shard: when a shard slows
+//     down, new requests to it fail fast with ErrBackpressure instead of
+//     piling onto the wire.
+//
+// Both are lock-free and allocation-free: the bucket is a GCRA (virtual
+// scheduling) cell — one CAS on a theoretical-arrival-time word — and the
+// gauge is an atomic counter per destination.
+
+// tokenBucket is a GCRA-form token bucket: tat holds the theoretical
+// arrival time (ns) of the next conforming request. A request conforms if
+// admitting it keeps tat within burst×interval of now. Zero rate means
+// admission is disabled and take always succeeds.
+type tokenBucket struct {
+	intervalNs int64 // 1e9 / rate; 0 = unlimited
+	burstNs    int64 // burst tolerance in ns (burst * intervalNs)
+	tat        atomic.Int64
+}
+
+// initBucket configures the bucket for rate requests/second with the given
+// burst (minimum 1 when rate is set).
+func (b *tokenBucket) init(rate float64, burst int) {
+	if rate <= 0 {
+		b.intervalNs = 0
+		return
+	}
+	b.intervalNs = int64(1e9 / rate)
+	if b.intervalNs < 1 {
+		b.intervalNs = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	b.burstNs = int64(burst) * b.intervalNs
+}
+
+// take admits or sheds one request at time nowNs (monotonic nanoseconds).
+// Lock-free: one CAS loop over the tat word, no allocation.
+func (b *tokenBucket) take(nowNs int64) bool {
+	if b.intervalNs == 0 {
+		return true
+	}
+	for {
+		tat := b.tat.Load()
+		base := tat
+		if nowNs > base {
+			base = nowNs
+		}
+		newTat := base + b.intervalNs
+		if newTat-nowNs > b.burstNs {
+			return false
+		}
+		if b.tat.CompareAndSwap(tat, newTat) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"testing"
+
+	"hpxgo/internal/core"
+)
+
+// TestServeCachedGetZeroAllocs pins the serving tier's steady-state read
+// path: a cache-hit Get — hash, ring lookup, set probe, counter bump —
+// must not allocate. Wired into `make check` via the alloc-gate target,
+// next to the datapath zero-alloc gates it extends to the serving tier.
+func TestServeCachedGetZeroAllocs(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{
+		Localities:         3,
+		WorkersPerLocality: 2,
+		Parcelport:         "lci",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(rt, Config{Owners: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	c := svc.Client(0)
+	key := "hot_key_0"
+	if err := c.Put(key, []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	// Warm: the first Get may fill; subsequent ones must hit.
+	if _, found, err := c.Get(key); err != nil || !found {
+		t.Fatalf("warm-up Get: found=%v err=%v", found, err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		v, found, err := c.Get(key)
+		if err != nil || !found || len(v) != 5 {
+			t.Fatalf("cached Get broke: %q found=%v err=%v", v, found, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Get allocates %.2f times per op, want 0", allocs)
+	}
+}
+
+// TestTokenBucketZeroAllocs pins the admission fast path.
+func TestTokenBucketZeroAllocs(t *testing.T) {
+	var b tokenBucket
+	b.init(1e9, 1<<30)
+	now := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += 10
+		if !b.take(now) {
+			t.Fatal("huge bucket shed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("bucket take allocates %.2f times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheWays is the set associativity: a key probes exactly one set of this
+// many slots, so a Lookup is a bounded scan of atomic pointer loads.
+const cacheWays = 8
+
+// cacheEntry is one immutable cached (key, value, version) binding. Only
+// the CLOCK reference bit mutates after publication, so readers never need
+// a lock: they load the slot pointer and read frozen fields. A tombstone
+// (tomb == true) remembers the version floor of an invalidated key so a
+// slow in-flight fill holding an older version cannot resurrect stale data
+// after a Del (see Cache.install).
+type cacheEntry struct {
+	key  string
+	val  []byte
+	ver  uint64
+	tomb bool
+	ref  atomic.Uint32 // CLOCK "recently used" bit
+}
+
+// cacheSet is one associativity set: cacheWays atomically-published slots
+// plus the writer-side CLOCK hand. Readers touch only the slots; writers
+// (install, invalidate) serialize on mu.
+type cacheSet struct {
+	mu    sync.Mutex
+	slots [cacheWays]atomic.Pointer[cacheEntry]
+	hand  uint32
+	_     [24]byte // keep neighbouring sets off one another's cache line
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Installs  uint64
+	Evictions uint64
+	StaleSkip uint64 // installs dropped because a newer version was cached
+}
+
+// Cache is the per-locality hot-key cache: a set-associative hash table
+// with lock-free, allocation-free reads and CLOCK (second-chance) eviction,
+// the classic scan-resistant LRU approximation. The read path is the one
+// that must survive "millions of users": a hit is a hash, at most cacheWays
+// atomic loads and one atomic bit store — no locks, no allocation (gated by
+// TestServeCachedGetZeroAllocs in the alloc-gate).
+//
+// Entries are versioned by the shard's per-key write version. install is
+// last-writer-wins by version, never by arrival order: a fill racing a
+// write-through can only lose to it, so a Get after a completed Put through
+// the same client never observes the overwritten value (property-tested in
+// cache_test.go).
+type Cache struct {
+	sets []cacheSet
+	mask uint64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	installs  atomic.Uint64
+	evictions atomic.Uint64
+	staleSkip atomic.Uint64
+}
+
+// newCache builds a cache with at least capacity entries (rounded up to a
+// power-of-two set count). capacity <= 0 returns nil: a nil *Cache is the
+// "caching disabled" configuration and every method tolerates it.
+func newCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	nsets := 1
+	for nsets*cacheWays < capacity {
+		nsets <<= 1
+	}
+	return &Cache{sets: make([]cacheSet, nsets), mask: uint64(nsets - 1)}
+}
+
+// setFor picks the set for hash h. The set index mixes the high bits so
+// ring placement (which consumes the raw hash) and set choice decorrelate.
+func (c *Cache) setFor(h uint64) *cacheSet {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return &c.sets[h&c.mask]
+}
+
+// lookup returns the cached value and version for key, if present and not
+// a tombstone. Lock-free and allocation-free; marks the entry recently
+// used for the CLOCK hand.
+func (c *Cache) lookup(key string, h uint64) (val []byte, ver uint64, ok bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	set := c.setFor(h)
+	for i := range set.slots {
+		e := set.slots[i].Load()
+		if e != nil && e.key == key {
+			if e.tomb {
+				break // invalidated: a miss that remembers its version floor
+			}
+			if e.ref.Load() == 0 {
+				e.ref.Store(1)
+			}
+			c.hits.Add(1)
+			return e.val, e.ver, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, 0, false
+}
+
+// install publishes (key, val, ver). If the key is already cached — live or
+// tombstoned — the entry is replaced only when ver is at least as new, so a
+// slow fill cannot clobber a fresher write-through. New keys evict CLOCK's
+// victim: the first slot whose reference bit is clear, clearing bits as the
+// hand sweeps (every entry gets one second chance).
+func (c *Cache) install(key string, h uint64, val []byte, ver uint64, tomb bool) {
+	if c == nil {
+		return
+	}
+	set := c.setFor(h)
+	// New entries start with the reference bit CLEAR: an entry earns its
+	// second chance by being hit, so one-shot keys (a uniform scan) evict
+	// before a hot key that is touched between installs. This is what makes
+	// CLOCK scan-resistant here (TestCacheHotKeySurvivesScan).
+	ne := &cacheEntry{key: key, val: val, ver: ver, tomb: tomb}
+	set.mu.Lock()
+	defer set.mu.Unlock()
+	// Same key present: version-gated replace.
+	var victim *atomic.Pointer[cacheEntry]
+	for i := range set.slots {
+		e := set.slots[i].Load()
+		if e == nil {
+			if victim == nil {
+				victim = &set.slots[i]
+			}
+			continue
+		}
+		if e.key == key {
+			if ver < e.ver {
+				c.staleSkip.Add(1)
+				return
+			}
+			set.slots[i].Store(ne)
+			c.installs.Add(1)
+			return
+		}
+	}
+	if victim == nil {
+		// CLOCK sweep: at most two laps (first clears bits, second must find
+		// a clear one).
+		for lap := 0; lap < 2*cacheWays; lap++ {
+			i := set.hand % cacheWays
+			set.hand++
+			e := set.slots[i].Load()
+			if e == nil || e.ref.Load() == 0 {
+				victim = &set.slots[i]
+				break
+			}
+			e.ref.Store(0)
+		}
+		if victim == nil { // all bits re-set concurrently: evict at the hand
+			victim = &set.slots[set.hand%cacheWays]
+			set.hand++
+		}
+		c.evictions.Add(1)
+	}
+	victim.Store(ne)
+	c.installs.Add(1)
+}
+
+// invalidate drops key from the cache, leaving a tombstone carrying the
+// version floor: lookups miss, and only an install with ver >= floor (a
+// fill that has seen the invalidating write, or a newer one) revives the
+// key.
+func (c *Cache) invalidate(key string, h uint64, floor uint64) {
+	if c == nil {
+		return
+	}
+	c.install(key, h, nil, floor, true)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Installs:  c.installs.Load(),
+		Evictions: c.evictions.Load(),
+		StaleSkip: c.staleSkip.Load(),
+	}
+}
+
+// Capacity returns the entry capacity (0 for a nil cache).
+func (c *Cache) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.sets) * cacheWays
+}

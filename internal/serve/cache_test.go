@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheHitAfterInstall: basic install → lookup → value/version match.
+func TestCacheHitAfterInstall(t *testing.T) {
+	c := newCache(64)
+	k := "alpha"
+	h := hashKey(k)
+	if _, _, ok := c.lookup(k, h); ok {
+		t.Fatal("hit before install")
+	}
+	c.install(k, h, []byte("v1"), 1, false)
+	v, ver, ok := c.lookup(k, h)
+	if !ok || string(v) != "v1" || ver != 1 {
+		t.Fatalf("lookup = %q v%d ok=%v, want v1 v1 true", v, ver, ok)
+	}
+}
+
+// TestCacheVersionGate: an install carrying an older version than the
+// cached entry must be dropped — the property that makes write-through
+// safe against slow in-flight fills.
+func TestCacheVersionGate(t *testing.T) {
+	c := newCache(64)
+	k := "beta"
+	h := hashKey(k)
+	c.install(k, h, []byte("new"), 5, false)
+	c.install(k, h, []byte("stale"), 3, false) // late fill from version 3
+	v, ver, ok := c.lookup(k, h)
+	if !ok || string(v) != "new" || ver != 5 {
+		t.Fatalf("stale install won: %q v%d ok=%v", v, ver, ok)
+	}
+	if got := c.Stats().StaleSkip; got != 1 {
+		t.Fatalf("StaleSkip = %d, want 1", got)
+	}
+	// Equal-or-newer installs do replace.
+	c.install(k, h, []byte("newer"), 5, false)
+	if v, _, _ := c.lookup(k, h); string(v) != "newer" {
+		t.Fatalf("equal-version install dropped: %q", v)
+	}
+}
+
+// TestCacheTombstoneFloor: after invalidate(floor), lookups miss and an
+// older fill cannot resurrect the key; a fill at/above the floor revives it.
+func TestCacheTombstoneFloor(t *testing.T) {
+	c := newCache(64)
+	k := "gamma"
+	h := hashKey(k)
+	c.install(k, h, []byte("old"), 2, false)
+	c.invalidate(k, h, 3)
+	if _, _, ok := c.lookup(k, h); ok {
+		t.Fatal("hit through tombstone")
+	}
+	c.install(k, h, []byte("zombie"), 2, false) // pre-delete fill
+	if _, _, ok := c.lookup(k, h); ok {
+		t.Fatal("stale fill resurrected a deleted key")
+	}
+	c.install(k, h, []byte("fresh"), 3, false)
+	if v, _, ok := c.lookup(k, h); !ok || string(v) != "fresh" {
+		t.Fatalf("post-floor fill rejected: %q ok=%v", v, ok)
+	}
+}
+
+// TestCacheEviction: filling far past capacity evicts, never errors, and
+// the cache keeps serving (CLOCK finds victims even with all bits set).
+func TestCacheEviction(t *testing.T) {
+	c := newCache(64)
+	n := c.Capacity() * 4
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("evict_%d", i)
+		c.install(k, hashKey(k), []byte{byte(i)}, 1, false)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions after 4x-capacity fill")
+	}
+	live := 0
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("evict_%d", i)
+		if _, _, ok := c.lookup(k, hashKey(k)); ok {
+			live++
+		}
+	}
+	if live == 0 || live > c.Capacity() {
+		t.Fatalf("%d live entries after overfill (capacity %d)", live, c.Capacity())
+	}
+}
+
+// TestCacheHotKeySurvivesScan: a hot key (touched between installs) must
+// survive a scan of cold keys through its set — the CLOCK second chance.
+func TestCacheHotKeySurvivesScan(t *testing.T) {
+	c := newCache(cacheWays) // one set: worst case for scan resistance
+	hot := "hot"
+	hh := hashKey(hot)
+	c.install(hot, hh, []byte("H"), 1, false)
+	for i := 0; i < cacheWays*3; i++ {
+		k := fmt.Sprintf("cold_%d", i)
+		c.install(k, hashKey(k), []byte{1}, 1, false)
+		// Touch the hot key between cold installs, as a skewed workload does.
+		if _, _, ok := c.lookup(hot, hh); !ok {
+			t.Fatalf("hot key evicted after %d cold installs", i+1)
+		}
+	}
+}
+
+// TestCacheConcurrent: readers and writers hammer overlapping keys under
+// -race; every hit must observe a (value, version) pair that was actually
+// installed for that key (values encode their version).
+func TestCacheConcurrent(t *testing.T) {
+	c := newCache(256)
+	const keys = 64
+	const writers = 4
+	const readers = 4
+	const opsPerWriter = 2000
+	var wrong atomic.Int64
+	stop := make(chan struct{})
+	kname := make([]string, keys)
+	khash := make([]uint64, keys)
+	for i := range kname {
+		kname[i] = fmt.Sprintf("cc_%d", i)
+		khash[i] = hashKey(kname[i])
+	}
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 1; i <= opsPerWriter; i++ {
+				k := (w + i) % keys
+				ver := uint64(i)
+				val := []byte(fmt.Sprintf("%s@%d", kname[k], ver))
+				c.install(kname[k], khash[k], val, ver, false)
+			}
+		}(w)
+	}
+	var readWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			i := r
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i % keys
+				i++
+				v, ver, ok := c.lookup(kname[k], khash[k])
+				if !ok {
+					continue
+				}
+				want := fmt.Sprintf("%s@%d", kname[k], ver)
+				if string(v) != want {
+					wrong.Add(1)
+				}
+			}
+		}(r)
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d torn (value, version) pairs observed", n)
+	}
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"hpxgo/internal/stats"
+)
+
+// LoadParams configures one open-loop load run against a Service: Clients
+// simulated closed-loop clients collectively issuing Total requests at an
+// aggregate offered Rate, keys drawn Zipf or uniformly from a keyspace of
+// Keys. With thousands of clients the aggregate is effectively open-loop:
+// each client's requests fire on its own fixed schedule, so a slow shard
+// does not slow the arrival process, and latency is measured from the
+// *scheduled* arrival time — queueing delay and coordinated omission are
+// in the number, not hidden by it.
+type LoadParams struct {
+	Clients    int     // simulated clients (goroutines) on the driver locality
+	Rate       float64 // aggregate offered ops/s (0 = no pacing: closed-loop max throughput)
+	Total      int     // total requests across all clients
+	Keys       int     // keyspace size (key_%08d)
+	Zipf       bool    // Zipf(S) key popularity; false = uniform
+	ZipfS      float64 // Zipf skew (default 1.2)
+	GetFrac    float64 // fraction of GETs, rest PUTs (default 0.95)
+	ValueBytes int     // PUT value size (default 64)
+	Seed       int64   // rng seed (per-client streams derive from it)
+	Timeout    time.Duration
+}
+
+func (p *LoadParams) fillDefaults() {
+	if p.Clients <= 0 {
+		p.Clients = 256
+	}
+	if p.Total <= 0 {
+		p.Total = 10000
+	}
+	if p.Keys <= 0 {
+		p.Keys = 1024
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = 1.2
+	}
+	if p.GetFrac <= 0 || p.GetFrac > 1 {
+		p.GetFrac = 0.95
+	}
+	if p.ValueBytes <= 0 {
+		p.ValueBytes = 64
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 5 * time.Minute
+	}
+}
+
+// LoadResult is one load run's outcome. Latency percentiles are over
+// completed (non-shed) requests, in microseconds, measured from each
+// request's scheduled arrival; HistP99Us is the log2-bucket estimate from
+// stats.Hist.Percentile over the same stream (the approximation hot paths
+// can afford), reported next to the exact value to keep it honest.
+type LoadResult struct {
+	Elapsed    time.Duration
+	Offered    int     // requests issued (scheduled)
+	Completed  int     // requests that returned a result (incl. not-found)
+	SplitShed  int     // requests shed (ErrShed / ErrBackpressure)
+	Errors     int     // other failures (timeouts, transport errors)
+	Throughput float64 // Completed / Elapsed, ops/s
+
+	P50Us     float64
+	P99Us     float64
+	P999Us    float64
+	MaxUs     float64
+	HistP99Us float64
+
+	HitRate  float64 // cache hits / GETs that could have hit (remote GETs)
+	Client   ClientStats
+	ShedFrac float64 // SplitShed / Offered
+}
+
+// keyName formats key i. Keys are preformatted once per run, so the issue
+// loop does no formatting.
+func keyName(i int) string { return fmt.Sprintf("key_%08d", i) }
+
+// KeySet returns the n-key keyspace the generator draws from.
+func KeySet(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = keyName(i)
+	}
+	return ks
+}
+
+// RunLoad drives the service from driver's client. The service's runtime
+// must be started and the keyspace preloaded (Service.Preload) if GETs are
+// expected to hit.
+func RunLoad(svc *Service, driver int, p LoadParams) (LoadResult, error) {
+	p.fillDefaults()
+	client := svc.Client(driver)
+	before := client.Stats()
+	keys := KeySet(p.Keys)
+	value := make([]byte, p.ValueBytes)
+	for i := range value {
+		value[i] = byte(i)
+	}
+
+	perClient := p.Total / p.Clients
+	if perClient == 0 {
+		perClient = 1
+		p.Clients = p.Total
+	}
+	total := perClient * p.Clients
+
+	// Client c issues its i-th request at slot i*Clients+c of the global
+	// schedule; at aggregate rate R the slot interval is 1/R.
+	var slotNs float64
+	if p.Rate > 0 {
+		slotNs = 1e9 / p.Rate
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []float64 // µs, completed requests only
+		shed      int
+		errs      int
+		firstErr  error
+	)
+	hist := &stats.Hist{}
+	start := time.Now()
+	deadline := start.Add(p.Timeout)
+	for c := 0; c < p.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + int64(c)*7919))
+			var zipf *rand.Zipf
+			if p.Zipf {
+				zipf = rand.NewZipf(rng, p.ZipfS, 1, uint64(p.Keys-1))
+			}
+			lats := make([]float64, 0, perClient)
+			myShed, myErrs := 0, 0
+			var myFirstErr error
+			for i := 0; i < perClient; i++ {
+				var sched time.Time
+				if slotNs > 0 {
+					sched = start.Add(time.Duration(float64(i*p.Clients+c) * slotNs))
+					for {
+						now := time.Now()
+						if !now.Before(sched) {
+							break
+						}
+						if wait := sched.Sub(now); wait > 200*time.Microsecond {
+							time.Sleep(wait - 100*time.Microsecond)
+						} else {
+							runtime.Gosched()
+						}
+					}
+				} else {
+					sched = time.Now()
+				}
+				if time.Now().After(deadline) {
+					myErrs += perClient - i
+					if myFirstErr == nil {
+						myFirstErr = fmt.Errorf("serve: load run exceeded timeout %s", p.Timeout)
+					}
+					break
+				}
+				var k int
+				if zipf != nil {
+					k = int(zipf.Uint64())
+				} else {
+					k = rng.Intn(p.Keys)
+				}
+				var err error
+				if rng.Float64() < p.GetFrac {
+					_, _, err = client.Get(keys[k])
+				} else {
+					err = client.Put(keys[k], value)
+				}
+				if err != nil {
+					if errors.Is(err, ErrShed) || errors.Is(err, ErrBackpressure) {
+						myShed++
+					} else {
+						myErrs++
+						if myFirstErr == nil {
+							myFirstErr = err
+						}
+					}
+					continue
+				}
+				us := float64(time.Since(sched)) / 1e3
+				lats = append(lats, us)
+				hist.Observe(int(us))
+			}
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			shed += myShed
+			errs += myErrs
+			if firstErr == nil {
+				firstErr = myFirstErr
+			}
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := client.Stats()
+	delta := ClientStats{
+		CacheHits:  after.CacheHits - before.CacheHits,
+		LocalHits:  after.LocalHits - before.LocalHits,
+		ShardCalls: after.ShardCalls - before.ShardCalls,
+		Coalesced:  after.Coalesced - before.Coalesced,
+		Shed:       after.Shed - before.Shed,
+		Puts:       after.Puts - before.Puts,
+	}
+	res := LoadResult{
+		Elapsed:   elapsed,
+		Offered:   total,
+		Completed: len(latencies),
+		SplitShed: shed,
+		Errors:    errs,
+		P50Us:     stats.Percentile(latencies, 50),
+		P99Us:     stats.Percentile(latencies, 99),
+		P999Us:    stats.Percentile(latencies, 99.9),
+		MaxUs:     stats.Percentile(latencies, 100),
+		HistP99Us: hist.Percentile(99),
+		Client:    delta,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Completed) / elapsed.Seconds()
+	}
+	if total > 0 {
+		res.ShedFrac = float64(shed) / float64(total)
+	}
+	remoteGets := delta.CacheHits + delta.ShardCalls + delta.Coalesced
+	if remoteGets > 0 {
+		res.HitRate = float64(delta.CacheHits) / float64(remoteGets)
+	}
+	if errs > 0 && firstErr != nil {
+		return res, fmt.Errorf("serve: load run saw %d errors, first: %w", errs, firstErr)
+	}
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingBalance: with enough vnodes, key ownership is roughly balanced
+// across owners (within 2x of fair share for a 64-vnode ring).
+func TestRingBalance(t *testing.T) {
+	owners := []int{1, 2, 3, 4}
+	r, err := NewRing(owners, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20000
+	counts := map[int]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.KeyOwner(keyName(i))]++
+	}
+	fair := keys / len(owners)
+	for _, o := range owners {
+		if counts[o] < fair/2 || counts[o] > fair*2 {
+			t.Fatalf("owner %d holds %d keys, fair share %d (counts %v)", o, counts[o], fair, counts)
+		}
+	}
+}
+
+// TestRingRemapFraction: removing one of N owners must remap only the keys
+// that owner held (~1/N), never keys between two surviving owners — the
+// consistent-hashing property that makes the shard map stable under
+// membership change.
+func TestRingRemapFraction(t *testing.T) {
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	rAll, err := NewRing(all, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLess, err := NewRing(all[:len(all)-1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := all[len(all)-1]
+	const keys = 20000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := keyName(i)
+		before, after := rAll.KeyOwner(k), rLess.KeyOwner(k)
+		if before != after {
+			moved++
+			if before != removed {
+				t.Fatalf("key %s moved %d->%d although owner %d was the one removed", k, before, after, removed)
+			}
+		}
+	}
+	// The removed owner held ~1/8 of the keyspace; allow 2x slack.
+	if frac := float64(moved) / keys; frac > 2.0/float64(len(all)) {
+		t.Fatalf("removal of 1/%d owners remapped %.1f%% of keys", len(all), frac*100)
+	}
+}
+
+// TestRingDeterminism: the ring is a pure function of (owners, vnodes), so
+// every locality builds the identical shard map without coordination.
+func TestRingDeterminism(t *testing.T) {
+	a, _ := NewRing([]int{3, 1, 2}, 32)
+	b, _ := NewRing([]int{3, 1, 2}, 32)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("det_%d", i)
+		if a.KeyOwner(k) != b.KeyOwner(k) {
+			t.Fatalf("ring not deterministic for %q", k)
+		}
+	}
+}
+
+// TestRingErrors: empty and duplicate owner sets are rejected.
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty owner set accepted")
+	}
+	if _, err := NewRing([]int{1, 1}, 8); err == nil {
+		t.Fatal("duplicate owner accepted")
+	}
+}
