@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver bench-collectives bench-msgrate bench-autotune bench-rendezvous bench-latency bench-serve bench-gate fuzz examples experiments clean
+.PHONY: all build vet fmt-check test race check alloc-gate bench bench-quick bench-fabric bench-deliver bench-collectives bench-msgrate bench-autotune bench-rendezvous bench-latency bench-serve bench-inline bench-gate fuzz examples experiments clean
 
 all: build vet test
 
@@ -14,10 +14,10 @@ all: build vet test
 check: build vet fmt-check test race alloc-gate bench-collectives bench-serve bench-gate
 
 # The receiver-datapath allocation gate: delivering a warm eager-sized bundle
-# must not allocate (see DESIGN.md §9). Run with -count=1 so a cached pass
-# never masks a regression.
+# must not allocate, spawned or inline (see DESIGN.md §9 and §14). Run with
+# -count=1 so a cached pass never masks a regression.
 alloc-gate:
-	$(GO) test ./internal/core/ -run 'TestDeliverBundleZeroAllocs|TestCollBoxFastPathZeroAlloc' -count=1
+	$(GO) test ./internal/core/ -run 'TestDeliverBundleZeroAllocs|TestDeliverInlineBundleZeroAllocs|TestCollBoxFastPathZeroAlloc' -count=1
 	$(GO) test ./internal/serialization/ -run TestDecodeIntoSteadyStateAllocs -count=1
 	$(GO) test ./internal/tune/ -run TestSteadyStatePathsZeroAlloc -count=1
 	$(GO) test ./internal/lci/ -run TestChunkedZeroAllocSteadyState -count=1
@@ -99,6 +99,15 @@ bench-latency:
 # same scale bench-gate runs at.
 bench-serve:
 	$(GO) run ./cmd/experiments -scale quick -out results serve
+
+# Regenerate the committed inline-lane baseline (results/BENCH_inline.json):
+# 64 B aggregated message rate with run-to-completion delivery on vs forced
+# spawn-always, plus the serving-tier Zipf capacity with the lane on.
+# Claims-checked on every run (inline >= 1.3x spawn-always; serve capacity
+# comparable to the committed serving-tier row). Pinned to quick scale — the
+# same scale bench-gate runs at.
+bench-inline:
+	$(GO) run ./cmd/experiments -scale quick -out results inline
 
 # Adaptive-vs-static acceptance sweep: the self-tuning runtime must match or
 # beat every hand-tuned static config on every workload (within the noise

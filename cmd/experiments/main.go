@@ -36,7 +36,7 @@ func main() {
 	format := flag.String("format", "text", "figure output format: text or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick] [-out dir] <target>...\n")
-		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability collectives autotune msgrate-bench rendezvous-bench latency-bench serve fabric-bench deliver-bench bench-gate all\n")
+		fmt.Fprintf(os.Stderr, "targets: table1 table2 table3 fig1..fig11 ablation-mpi ablation-multidev profile check latency-tails reliability collectives autotune msgrate-bench rendezvous-bench latency-bench serve inline fabric-bench deliver-bench bench-gate all\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -86,6 +86,8 @@ func main() {
 			text, extra, err = runLatencyBench(sc, *scale)
 		case "serve":
 			text, extra, err = runServeBench(sc, *scale)
+		case "inline":
+			text, extra, err = runInlineBench(sc, *scale)
 		case "fabric-bench":
 			text, extra, err = runDatapathBench(sc, *scale, "BENCH_fabric.json", bench.FabricBench)
 		case "deliver-bench":
@@ -220,6 +222,40 @@ func runServeBench(sc bench.Scale, scaleName string) (string, map[string][]byte,
 	return rep.Text(), map[string][]byte{"BENCH_serve.json": js}, nil
 }
 
+// serveZipfBaseline reads the committed serving-tier artifact and extracts
+// the Zipf capacity row the inline serve claim compares against. Missing
+// artifact degrades to 0 (claim skipped) rather than failing the run.
+func serveZipfBaseline() float64 {
+	data, err := os.ReadFile(serveGateArtifact)
+	if err != nil {
+		return 0
+	}
+	committed, err := bench.ParseServeReport(data)
+	if err != nil {
+		return 0
+	}
+	return bench.ServeZipfBaseline(committed)
+}
+
+// runInlineBench A/Bs the run-to-completion inline lane against spawn-always
+// delivery on the 64 B aggregated message-rate workload, measures the
+// serving-tier Zipf capacity with the lane on, and emits BENCH_inline.json.
+// Fails if the inline speedup or serve-capacity claims don't hold.
+func runInlineBench(sc bench.Scale, scaleName string) (string, map[string][]byte, error) {
+	rep, err := bench.InlineBench(sc, scaleName, serveZipfBaseline())
+	if err != nil {
+		if rep == nil {
+			return "", nil, err
+		}
+		return "", nil, fmt.Errorf("%w\n%s", err, rep.Text())
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		return "", nil, err
+	}
+	return rep.Text(), map[string][]byte{"BENCH_inline.json": js}, nil
+}
+
 // runDatapathBench measures one datapath artifact (fabric or receiver) and
 // emits it under the given artifact name. Fails if the flatness/zero-alloc
 // claims don't hold.
@@ -244,6 +280,7 @@ const (
 	rendezvousGateArtifact = "results/BENCH_rendezvous.json"
 	serveGateArtifact      = "results/BENCH_serve.json"
 	latencyGateArtifact    = "results/BENCH_latency.json"
+	inlineGateArtifact     = "results/BENCH_inline.json"
 )
 
 // runBenchGate re-measures the gated rows (message rate, rendezvous
@@ -318,7 +355,24 @@ func runBenchGate(sc bench.Scale, scaleName string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("%w\n%s", err, stext)
 	}
-	return text + "\n" + rtext + "\n" + ltext + "\n" + stext, nil
+
+	idata, err := os.ReadFile(inlineGateArtifact)
+	if err != nil {
+		return "", fmt.Errorf("bench-gate: %w (run `make bench-inline` and commit the artifact)", err)
+	}
+	icommitted, err := bench.ParseInlineReport(idata)
+	if err != nil {
+		return "", err
+	}
+	ifresh, err := bench.InlineBench(sc, scaleName, bench.ServeZipfBaseline(scommitted))
+	if err != nil && ifresh == nil {
+		return "", err
+	}
+	itext, err := bench.InlineGate(ifresh, icommitted, bench.ServeZipfBaseline(scommitted))
+	if err != nil {
+		return "", fmt.Errorf("%w\n%s", err, itext)
+	}
+	return text + "\n" + rtext + "\n" + ltext + "\n" + stext + "\n" + itext, nil
 }
 
 // run executes one target at the given scale.

@@ -51,6 +51,8 @@ func main() {
 	rails := flag.Int("rails", 4, "fabric rail count (with -large)")
 	blob := flag.Bool("blob", false, "use the monolithic single-blob long path (baseline; with -large)")
 	agg := flag.Bool("agg", false, "enable the sender-side aggregation layer")
+	inline := flag.Bool("inline", true, "run small non-blocking actions inline on the draining goroutine")
+	inlinebudget := flag.Int("inlinebudget", 0, "inline-lane per-drain budget seed (0 = default; ignored with -inline=false)")
 	autotune := flag.Bool("autotune", false, "enable the adaptive control layer (per-peer knobs replace the static ones)")
 	aggsize := flag.Int("aggsize", 0, "aggregation flush size threshold in bytes (0 = default)")
 	aggdelay := flag.Duration("aggdelay", 0, "aggregation flush age deadline (0 = default)")
@@ -61,6 +63,9 @@ func main() {
 	flag.Parse()
 
 	if *cpuprofile != "" {
+		// Label the progress / amt-worker / inline-deliver lanes so the
+		// profile splits by goroutine role (go tool pprof -tagfocus=lane=...).
+		core.EnableProfilingLabels(true)
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msgrate: %v\n", err)
@@ -109,6 +114,7 @@ func main() {
 		Size: *size, Batch: *batch, Total: *total, Rate: *rate,
 		Workers: *workers, Fabric: bench.Expanse.Fabric(2),
 		Agg: *agg, AggSize: *aggsize, AggDelay: *aggdelay, Autotune: *autotune,
+		InlineOff: !*inline, InlineBudget: *inlinebudget,
 	}
 	params.Fabric.Reliability = *reliable
 	if *drop != 0 || *dup != 0 || *corrupt != 0 || *spike != 0 {

@@ -18,9 +18,11 @@
 package amt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +74,7 @@ type Scheduler struct {
 
 	spawned   atomic.Int64
 	completed atomic.Int64
+	inline    atomic.Int64
 
 	// Parked task-runner goroutines, recycled between tasks (LIFO so the
 	// hottest stack is reused first), sharded per worker so concurrent
@@ -339,16 +342,36 @@ func (s *Scheduler) IdleRunners() int {
 	return n
 }
 
+// RunInline executes task synchronously on the calling goroutine, with the
+// same accounting as a spawned task (it shows up in Executed, and in Pending
+// for its duration). This is the run-to-completion lane: the caller — a
+// completion-drain pass — trades a goroutine handoff for running the task
+// itself, so it must only pass tasks it knows will not block.
+func (s *Scheduler) RunInline(task func()) {
+	s.spawned.Add(1)
+	task()
+	s.completed.Add(1)
+	s.inline.Add(1)
+}
+
 // Pending returns the number of spawned-but-unfinished tasks.
 func (s *Scheduler) Pending() int64 { return s.spawned.Load() - s.completed.Load() }
 
 // Executed returns the number of completed tasks.
 func (s *Scheduler) Executed() int64 { return s.completed.Load() }
 
+// InlineExecuted returns the number of tasks run via RunInline.
+func (s *Scheduler) InlineExecuted() int64 { return s.inline.Load() }
+
 // workerLoop is the idle role of one worker thread: poll background work
 // with a spin-then-nap backoff.
 func (s *Scheduler) workerLoop(id int) {
 	defer s.wg.Done()
+	// Label the goroutine so CPU profiles split worker-poll time (which
+	// includes inline parcel execution) from task runners and progress
+	// threads: `go tool pprof -tagfocus=lane=amt-worker`.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("lane", "amt-worker", "sched", s.cfg.Name)))
 	rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
 	idle := 0
 	for !s.stopFlag.Load() {
@@ -394,6 +417,8 @@ func (s *Scheduler) StartDedicated(name string, lockThread bool, loop func() boo
 	s.dedMu.Unlock()
 	go func() {
 		defer close(d.done)
+		pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+			pprof.Labels("lane", "progress", "thread", name)))
 		if lockThread {
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()

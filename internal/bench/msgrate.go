@@ -38,6 +38,12 @@ type MsgRateParams struct {
 	// the aggregation knobs and zero-copy threshold become per-destination
 	// feedback-controlled values.
 	Autotune bool
+	// InlineOff disables the receiver's inline-execution lane (spawn-always,
+	// the pre-inline behavior); the default runs small sink actions to
+	// completion on the draining goroutine.
+	InlineOff bool
+	// InlineBudget overrides the inline count budget (0 = runtime default).
+	InlineBudget int
 	// MeasureAllocs samples process-wide allocation counters around the
 	// measured section; the per-message delta lands in AllocsPerMsg.
 	MeasureAllocs bool
@@ -72,6 +78,10 @@ func MessageRate(ppName string, p MsgRateParams) (MsgRateResult, error) {
 	tasks := p.Total / p.Batch
 	total := tasks * p.Batch
 
+	inlineBudget := p.InlineBudget
+	if p.InlineOff {
+		inlineBudget = -1
+	}
 	rt, err := core.NewRuntime(core.Config{
 		Localities:         2,
 		WorkersPerLocality: p.Workers,
@@ -82,6 +92,7 @@ func MessageRate(ppName string, p MsgRateParams) (MsgRateResult, error) {
 		AggFlushBytes:      p.AggSize,
 		AggFlushDelay:      p.AggDelay,
 		Autotune:           p.Autotune,
+		InlineBudget:       inlineBudget,
 	})
 	if err != nil {
 		return MsgRateResult{}, err
@@ -92,11 +103,13 @@ func MessageRate(ppName string, p MsgRateParams) (MsgRateResult, error) {
 	var doneAt atomic.Int64 // nanoseconds since start, set by the receiver's ack
 	start := time.Now()
 
-	ackID := rt.MustRegisterAction("mr_ack", func(loc *core.Locality, args [][]byte) [][]byte {
+	// Both actions are atomic-counter bumps — the canonical inline-safe
+	// shape, and exactly the per-message cost the inline lane targets.
+	ackID := rt.MustRegisterInlineAction("mr_ack", func(loc *core.Locality, args [][]byte) [][]byte {
 		doneAt.Store(int64(time.Since(start)))
 		return nil
 	})
-	sinkID := rt.MustRegisterAction("mr_sink", func(loc *core.Locality, args [][]byte) [][]byte {
+	sinkID := rt.MustRegisterInlineAction("mr_sink", func(loc *core.Locality, args [][]byte) [][]byte {
 		if received.Add(1) == int64(total) {
 			// All messages arrived: one short message back to the sender.
 			_ = loc.ApplyID(0, ackID, nil)

@@ -97,10 +97,8 @@ func Rendezvous(p RendezvousParams) (RendezvousResult, error) {
 			}
 			snd.Progress()
 		}
-		for {
-			if _, ok := cq.Pop(); ok {
-				break
-			}
+		var cqBuf [1]lci.Request
+		for cq.PopN(cqBuf[:]) == 0 {
 			snd.Progress()
 			rcv.Progress()
 		}

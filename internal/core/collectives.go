@@ -86,6 +86,9 @@ func (rt *Runtime) registerCollectiveActions() {
 		rt.byID = append(rt.byID, fn)
 		rt.names = append(rt.names, name)
 		rt.byName[name] = id
+		// Relay actions fan out further parcels and fold partials — not the
+		// small-and-fast shape the inline lane is for.
+		rt.inline = append(rt.inline, false)
 		return id
 	}
 	rt.coll.bcastID = reserve("__coll_bcast", rt.collBcastAction)

@@ -11,9 +11,11 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +74,22 @@ type Config struct {
 	// AggMaxQueued caps buffered sub-messages per destination; reaching it
 	// forces a flush. Default parcelport.MaxPendingConnections.
 	AggMaxQueued int
+	// InlineBudget caps how many small parcels of one delivered message may
+	// run to completion directly on the draining goroutine (the inline
+	// lane) before the remainder spills to spawned tasks. Only actions
+	// registered with an inline hint (RegisterInlineAction/MarkActionInline)
+	// are eligible. Zero selects tune.DefaultInlineBudget; negative disables
+	// inline execution entirely (every parcel spawns). Under Autotune this
+	// value seeds the per-source adaptive budget.
+	InlineBudget int
+	// DrainBatch is the completion-drain budget: how many completion
+	// records one parcelport background pass consumes, shared round-robin
+	// across all of the port's completion queues. The LCI progress engine
+	// derives its per-pass fabric-event batch as 2×DrainBatch (preserving
+	// the hand-tuned 32/64 seed ratio), and the MPI parcelport bounds its
+	// pending-connection sweep with the same value. Zero selects the
+	// transport defaults (lcipp.DefaultDrainBatch / lci.DefaultProgressBatch).
+	DrainBatch int
 	// Autotune enables the adaptive control layer (internal/tune): the
 	// static aggregation knobs and the zero-copy threshold become per-peer
 	// feedback-controlled values actuated from observed ack RTT, egress
@@ -147,11 +165,21 @@ type Runtime struct {
 	byName map[string]uint32
 	byID   []ActionFunc
 	names  []string
+	inline []bool // per-action inline hint (parallel to byID)
 
 	// actionTab is the immutable snapshot of byID published at Start: the
 	// registry is sealed then, so per-parcel dispatch reads one atomic
 	// pointer instead of taking regMu.
 	actionTab atomic.Pointer[[]ActionFunc]
+	// inlineTab is the sealed snapshot of the inline hints, published with
+	// actionTab. The receive path consults it per parcel, lock-free.
+	inlineTab atomic.Pointer[[]bool]
+	// actionSvc is the per-action inline service-time EWMA in ns (α = 1/4),
+	// sized to the sealed registry at Start. An action whose EWMA crosses
+	// the heavy threshold loses inline eligibility until it lightens —
+	// the safety escape that keeps a mis-hinted action from stalling the
+	// completion drain indefinitely.
+	actionSvc []atomic.Int64
 
 	// Collectives subsystem (see collectives.go): reserved relay-action ids,
 	// the per-call fold table, and the collective-id allocator.
@@ -178,14 +206,19 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	rt := &Runtime{cfg: cfg, ppCfg: ppCfg, net: net, byName: make(map[string]uint32), tracer: trace.New(0)}
 	net.SetTrace(rt.tracer.Emit)
-	// Reserve the continuation action.
+	// Reserve the continuation action. It is inline-hinted: Future.Set is
+	// non-blocking (mutex, close, callback spawns), so completing a Call on
+	// the draining goroutine saves the spawn that dominates small-response
+	// latency.
 	rt.byID = append(rt.byID, rt.runContinuation)
 	rt.names = append(rt.names, "__continuation")
 	rt.byName["__continuation"] = continuationAction
-	// The no-op used by Barrier.
+	rt.inline = append(rt.inline, true)
+	// The no-op used by Barrier (trivially inline-safe).
 	rt.byID = append(rt.byID, func(*Locality, [][]byte) [][]byte { return nil })
 	rt.names = append(rt.names, barrierActionName)
 	rt.byName[barrierActionName] = uint32(len(rt.byID) - 1)
+	rt.inline = append(rt.inline, true)
 	// The tree-collective relay and data-plane actions (collectives.go).
 	rt.registerCollectiveActions()
 
@@ -223,11 +256,19 @@ func (rt *Runtime) buildLocality(i int) (*Locality, error) {
 		loc.pp = mpipp.New(rt.world.Comm(i), mpipp.Config{
 			ZeroCopyThreshold: rt.cfg.ZeroCopyThreshold,
 			Original:          rt.ppCfg.Original,
+			DrainBatch:        rt.cfg.DrainBatch,
 		})
 	case parcelport.TransportLCI:
+		lciCfg := rt.cfg.LCI
+		if rt.cfg.DrainBatch > 0 && lciCfg.ProgressBatch <= 0 {
+			// One drain knob, two engines: the progress engine's fabric-event
+			// batch tracks 2× the completion-drain budget, preserving the
+			// hand-tuned 64:32 seed ratio.
+			lciCfg.ProgressBatch = 2 * rt.cfg.DrainBatch
+		}
 		devs := make([]*lci.Device, rt.cfg.LCIDevices)
 		for di := range devs {
-			devs[di] = lci.NewDevice(rt.net.DeviceN(i, di), rt.cfg.LCI, nil)
+			devs[di] = lci.NewDevice(rt.net.DeviceN(i, di), lciCfg, nil)
 		}
 		pp, err := lcipp.NewMulti(devs, loc.sched, lcipp.Config{
 			ZeroCopyThreshold: rt.cfg.ZeroCopyThreshold,
@@ -235,6 +276,7 @@ func (rt *Runtime) buildLocality(i int) (*Locality, error) {
 			Completion:        rt.ppCfg.Completion,
 			Progress:          rt.ppCfg.Progress,
 			AdaptiveProgress:  rt.cfg.Autotune,
+			DrainBatch:        rt.cfg.DrainBatch,
 		})
 		if err != nil {
 			return nil, err
@@ -322,6 +364,7 @@ func (rt *Runtime) wireAutotune(loc *Locality, i int) {
 	if dev := loc.lciDev; dev != nil {
 		sig.PoolRetries = func() uint64 { return dev.Stats().Retries }
 	}
+	sig.PendingTasks = loc.sched.Pending
 	rails := 1
 	if rt.net != nil {
 		rails = rt.net.Config().Rails
@@ -333,6 +376,8 @@ func (rt *Runtime) wireAutotune(loc *Locality, i int) {
 		ZCThreshold:    rt.cfg.ZeroCopyThreshold,
 		StripeWidth:    rt.cfg.LCI.StripeWidth,
 		MaxStripeWidth: rails,
+		InlineBudget:   rt.cfg.InlineBudget,
+		DrainBatch:     rt.cfg.DrainBatch,
 	}, sig)
 	loc.tuner = ctl
 	if agg, ok := loc.pp.(*parcelport.Aggregator); ok {
@@ -362,6 +407,7 @@ func (rt *Runtime) RegisterAction(name string, fn ActionFunc) (uint32, error) {
 	rt.byID = append(rt.byID, fn)
 	rt.names = append(rt.names, name)
 	rt.byName[name] = id
+	rt.inline = append(rt.inline, false)
 	return id, nil
 }
 
@@ -372,6 +418,50 @@ func (rt *Runtime) MustRegisterAction(name string, fn ActionFunc) uint32 {
 		panic(err)
 	}
 	return id
+}
+
+// RegisterInlineAction registers fn with the inline hint: the action
+// promises to be small and non-blocking (no future waits, no long compute,
+// no unbounded locks), so the receive path may run it to completion on the
+// draining goroutine instead of spawning a task. A hinted action that
+// nonetheless runs long is demoted by the service-time escape (see
+// actionSvc); one that *blocks* stalls its drain goroutine until the
+// scheduler's other workers pick up the slack — the hint is a promise, not
+// a sandbox.
+func (rt *Runtime) RegisterInlineAction(name string, fn ActionFunc) (uint32, error) {
+	id, err := rt.RegisterAction(name, fn)
+	if err != nil {
+		return 0, err
+	}
+	rt.regMu.Lock()
+	rt.inline[id] = true
+	rt.regMu.Unlock()
+	return id, nil
+}
+
+// MustRegisterInlineAction is RegisterInlineAction, panicking on error.
+func (rt *Runtime) MustRegisterInlineAction(name string, fn ActionFunc) uint32 {
+	id, err := rt.RegisterInlineAction(name, fn)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// MarkActionInline sets the inline hint on an already-registered action
+// (same promise as RegisterInlineAction). Must be called before Start.
+func (rt *Runtime) MarkActionInline(name string) error {
+	if rt.started.Load() {
+		return fmt.Errorf("core: MarkActionInline(%q) after Start", name)
+	}
+	rt.regMu.Lock()
+	defer rt.regMu.Unlock()
+	id, ok := rt.byName[name]
+	if !ok {
+		return fmt.Errorf("core: MarkActionInline: unknown action %q", name)
+	}
+	rt.inline[id] = true
+	return nil
 }
 
 // ActionID resolves a registered action name.
@@ -410,8 +500,11 @@ func (rt *Runtime) Start() error {
 	// publish the immutable action table for lock-free dispatch.
 	rt.regMu.RLock()
 	tab := append([]ActionFunc(nil), rt.byID...)
+	itab := append([]bool(nil), rt.inline...)
 	rt.regMu.RUnlock()
+	rt.actionSvc = make([]atomic.Int64, len(tab))
 	rt.actionTab.Store(&tab)
+	rt.inlineTab.Store(&itab)
 	for _, loc := range rt.locs {
 		loc := loc
 		if err := loc.pp.Start(loc.deliver); err != nil {
@@ -544,6 +637,8 @@ type Locality struct {
 	nextReapNs      atomic.Int64 // rate-gates the continuation reaper
 	parcelsExecuted atomic.Uint64
 	decodeErrors    atomic.Uint64
+	inlineExecuted  atomic.Uint64 // parcels run on the inline lane
+	inlineSpilled   atomic.Uint64 // inline-eligible parcels demoted to spawn
 
 	// delivPool recycles delivery contexts (parcel slab + task slots) so the
 	// steady-state receive path allocates nothing. See deliver.
@@ -565,6 +660,14 @@ func (l *Locality) ParcelsExecuted() uint64 { return l.parcelsExecuted.Load() }
 // DecodeErrors counts received messages dropped because they failed to
 // decode (protocol corruption).
 func (l *Locality) DecodeErrors() uint64 { return l.decodeErrors.Load() }
+
+// InlineExecuted counts parcels run to completion on the draining goroutine
+// (the inline lane of deliver).
+func (l *Locality) InlineExecuted() uint64 { return l.inlineExecuted.Load() }
+
+// InlineSpilled counts inline-eligible parcels that were demoted to spawned
+// tasks because the per-message time cap expired mid-drain.
+func (l *Locality) InlineSpilled() uint64 { return l.inlineSpilled.Load() }
 
 // PendingContinuations reports Call futures still awaiting their remote
 // results. A steadily growing value means calls are timing out (their table
@@ -723,12 +826,13 @@ func (l *Locality) reapDeadContinuations() bool {
 // pooled network buffers the decoded args alias stay valid for exactly as
 // long as any task can read them.
 type delivery struct {
-	l     *Locality
-	buf   serialization.DecodeBuf
-	owner serialization.RecvOwner
-	refs  atomic.Int32
-	tasks []*parcelTask // pointer-stable reusable slots
-	runs  []func()      // scratch batch handed to SpawnBatch
+	l      *Locality
+	buf    serialization.DecodeBuf
+	owner  serialization.RecvOwner
+	refs   atomic.Int32
+	tasks  []*parcelTask // pointer-stable reusable slots
+	runs   []func()      // scratch batch handed to SpawnBatch
+	inline []*parcelTask // scratch batch run on the inline lane
 }
 
 // parcelTask is one parcel's reusable spawn slot. run is the method value
@@ -831,10 +935,76 @@ func (d *delivery) unref() {
 // dispatch → spawn → execute path without a wire in between.
 func (l *Locality) Deliver(m *serialization.Message) { l.deliver(m) }
 
+// Inline-lane bounds. The count budget comes from Config.InlineBudget (or
+// the per-source adaptive budget under Autotune); these cap the other two
+// axes of the drain budget.
+const (
+	// inlineMaxArgBytes is the per-parcel eligibility cutoff: a parcel
+	// whose summed arg bytes exceed it is not "small" and always spawns.
+	inlineMaxArgBytes = 1024
+	// inlineBytesBudget caps the summed arg bytes run inline per message,
+	// so many just-under-cutoff parcels cannot add up to a long stall.
+	inlineBytesBudget = 16 * 1024
+	// inlineTimeBudget caps the wall time one message's inline batch may
+	// occupy the draining goroutine; the remainder demotes to SpawnBatch.
+	// Sized so a full default budget of light (<~2µs) actions fits.
+	inlineTimeBudget = 100 * time.Microsecond
+	// defaultInlineHeavyNs mirrors tune.Config.InlineHeavyNs for runtimes
+	// without Autotune: the per-action service EWMA above which an action
+	// loses inline eligibility.
+	defaultInlineHeavyNs = 20_000
+)
+
+// profilingLabels gates the per-delivery pprof label swap on the inline
+// lane. SetGoroutineLabels allocates, so the swap is off by default to keep
+// the steady-state receive path at zero allocations; profiling runs flip it
+// on to split inline execution from worker polling in CPU profiles.
+var profilingLabels atomic.Bool
+
+// EnableProfilingLabels toggles pprof goroutine labels on the inline
+// delivery lane ("lane=inline-deliver"). Costs one allocation per delivered
+// message while enabled.
+func EnableProfilingLabels(on bool) { profilingLabels.Store(on) }
+
+// inlineBudget returns the inline-lane count budget for parcels arriving
+// from src: the adaptive per-source value under Autotune, the static config
+// otherwise, zero when disabled.
+func (l *Locality) inlineBudget(src int) int {
+	if l.rt.cfg.InlineBudget < 0 {
+		return 0
+	}
+	if l.tuner != nil {
+		return l.tuner.InlineBudget(src)
+	}
+	if b := l.rt.cfg.InlineBudget; b > 0 {
+		return b
+	}
+	return tune.DefaultInlineBudget
+}
+
+// inlineHeavyNs returns the service-time EWMA ceiling for inline
+// eligibility.
+func (l *Locality) inlineHeavyNs() int64 {
+	if l.tuner != nil {
+		return l.tuner.InlineHeavyNs()
+	}
+	return defaultInlineHeavyNs
+}
+
 // deliver is the parcelport's delivery callback: decode the HPX message
-// into a pooled parcel slab and batch-spawn one task per parcel. In steady
-// state the whole path — decode, dispatch, spawn, execute, buffer recycle —
-// performs zero allocations (enforced by TestDeliverBundleZeroAllocs).
+// into a pooled parcel slab, run the small inline-hinted parcels to
+// completion right here on the draining goroutine, and batch-spawn the
+// rest. In steady state the whole path — decode, dispatch, inline-execute
+// or spawn, buffer recycle — performs zero allocations (enforced by
+// TestDeliverBundleZeroAllocs and TestDeliverInlineBundleZeroAllocs).
+//
+// The inline lane is the run-to-completion optimization: a small parcel's
+// spawn handoff (runner pop, channel send, wakeup) costs more than its
+// action body, so eligible parcels skip the scheduler entirely. Eligibility
+// per parcel: the action carries the inline hint, its service-time EWMA is
+// below the heavy ceiling, the args are small, and the per-message count
+// and byte budgets have room. The spill batch spawns *first*, so heavy
+// work overlaps the inline runs instead of queueing behind them.
 func (l *Locality) deliver(m *serialization.Message) {
 	d, _ := l.delivPool.Get().(*delivery)
 	if d == nil {
@@ -855,6 +1025,19 @@ func (l *Locality) deliver(m *serialization.Message) {
 	l.rt.tracer.Emit("parcel", "deliver", int64(len(parcels)))
 	d.owner = m.Owner
 	runs := d.runs[:0]
+	inl := d.inline[:0]
+	var hints []bool
+	budget := 0
+	if tab := l.rt.inlineTab.Load(); tab != nil && len(parcels) > 0 {
+		if budget = l.inlineBudget(parcels[0].Source); budget > 0 {
+			hints = *tab
+		}
+	}
+	heavyNs := int64(0)
+	if hints != nil {
+		heavyNs = l.inlineHeavyNs()
+	}
+	inlBytes := 0
 	n := 0
 	for i := range parcels {
 		p := &parcels[i]
@@ -864,10 +1047,22 @@ func (l *Locality) deliver(m *serialization.Message) {
 		}
 		t := d.task(n)
 		t.d, t.p, t.fn = d, p, fn
-		runs = append(runs, t.run)
 		n++
+		if len(inl) < budget && int(p.Action) < len(hints) && hints[p.Action] &&
+			l.rt.actionSvc[p.Action].Load() < heavyNs {
+			ab := 0
+			for _, a := range p.Args {
+				ab += len(a)
+			}
+			if ab <= inlineMaxArgBytes && inlBytes+ab <= inlineBytesBudget {
+				inlBytes += ab
+				inl = append(inl, t)
+				continue
+			}
+		}
+		runs = append(runs, t.run)
 	}
-	d.runs = runs
+	d.runs, d.inline = runs, inl
 	if n == 0 {
 		if d.owner != nil {
 			d.owner.Release()
@@ -876,8 +1071,65 @@ func (l *Locality) deliver(m *serialization.Message) {
 		l.delivPool.Put(d)
 		return
 	}
-	d.refs.Store(int32(n))
-	// d must not be touched after SpawnBatch: the tasks own it now and the
-	// last to finish recycles it.
-	l.sched.SpawnBatch(runs)
+	// One extra reference guards d for the duration of the inline loop:
+	// without it the last inline task would recycle d under our feet while
+	// we still iterate d.inline.
+	d.refs.Store(int32(n) + 1)
+	if len(runs) > 0 {
+		l.sched.SpawnBatch(runs)
+	}
+	if len(inl) > 0 {
+		if profilingLabels.Load() {
+			pprof.Do(context.Background(), pprof.Labels("lane", "inline-deliver"), func(context.Context) {
+				l.runInlineBatch(d)
+			})
+		} else {
+			l.runInlineBatch(d)
+		}
+	}
+	d.unref()
+}
+
+// runInlineBatch executes d.inline on the calling (draining) goroutine
+// under the per-message time cap, demoting the remainder to spawned tasks
+// when the cap expires. Each run's service time feeds the per-action EWMA
+// (the heavy escape) and, under Autotune, the per-source budget law.
+func (l *Locality) runInlineBatch(d *delivery) {
+	inl := d.inline
+	src := inl[0].p.Source
+	t0 := time.Now()
+	deadline := t0.Add(inlineTimeBudget)
+	for i, t := range inl {
+		if t0.After(deadline) {
+			rest := d.runs[:0]
+			for _, u := range inl[i:] {
+				rest = append(rest, u.run)
+			}
+			d.runs = rest
+			l.sched.SpawnBatch(rest)
+			spilled := len(inl) - i
+			l.inlineSpilled.Add(uint64(spilled))
+			if l.tuner != nil {
+				l.tuner.ObserveInlineSpill(src, spilled)
+			}
+			return
+		}
+		aid := t.p.Action
+		l.sched.RunInline(t.run)
+		t1 := time.Now()
+		svc := t1.Sub(t0).Nanoseconds()
+		t0 = t1
+		l.inlineExecuted.Add(1)
+		if int(aid) < len(l.rt.actionSvc) {
+			sv := &l.rt.actionSvc[aid]
+			if old := sv.Load(); old == 0 {
+				sv.Store(svc)
+			} else {
+				sv.Store(old + (svc-old)/4)
+			}
+		}
+		if l.tuner != nil {
+			l.tuner.ObserveInline(src, svc)
+		}
+	}
 }

@@ -22,6 +22,8 @@ func (rt *Runtime) StatsText() string {
 		ls := loc.layer.Stats()
 		fmt.Fprintf(&b, "  parcels sent %d in %d messages (%d aggregated, %d cache-exhausted), actions run %d, decode errors %d\n",
 			ls.ParcelsSent, ls.MessagesSent, ls.AggregatedSends, ls.CacheExhausted, loc.ParcelsExecuted(), loc.DecodeErrors())
+		fmt.Fprintf(&b, "  inline lane: %d run-to-completion, %d demoted to spawn, %d spawned tasks total\n",
+			loc.InlineExecuted(), loc.InlineSpilled(), loc.sched.Executed())
 		pport := loc.pp
 		if agg, ok := pport.(*parcelport.Aggregator); ok {
 			as := agg.Stats()

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestInlineDeliveryRunsToCompletion: a bundle of inline-hinted small
+// parcels executes synchronously on the delivering goroutine — by the time
+// deliver returns, every action ran and the message owner is released.
+func TestInlineDeliveryRunsToCompletion(t *testing.T) {
+	rt, err := NewRuntime(Config{Localities: 2, WorkersPerLocality: 2, Parcelport: "lci"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Uint64
+	act := rt.MustRegisterInlineAction("inline_noop", func(*Locality, [][]byte) [][]byte {
+		ran.Add(1)
+		return nil
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	l := rt.Locality(0)
+	const bundle = 8
+	m := benchBundle(bundle, 64, act)
+	owner := &stubOwner{}
+	m.Owner = owner
+	l.deliver(m)
+	if got := ran.Load(); got != bundle {
+		t.Fatalf("after deliver returned: %d of %d inline actions ran", got, bundle)
+	}
+	if got := owner.releases.Load(); got != 1 {
+		t.Fatalf("owner releases = %d, want 1 (inline batch completed)", got)
+	}
+	if got := l.InlineExecuted(); got != bundle {
+		t.Fatalf("InlineExecuted = %d, want %d", got, bundle)
+	}
+	if got := l.sched.InlineExecuted(); got != bundle {
+		t.Fatalf("scheduler InlineExecuted = %d, want %d", got, bundle)
+	}
+	if txt := rt.StatsText(); !strings.Contains(txt, "inline lane") {
+		t.Fatalf("StatsText does not surface the inline counters:\n%s", txt)
+	}
+}
+
+// TestInlineDisabled: Config.InlineBudget < 0 restores spawn-always
+// delivery even for hinted actions.
+func TestInlineDisabled(t *testing.T) {
+	rt, err := NewRuntime(Config{Localities: 2, WorkersPerLocality: 2, Parcelport: "lci", InlineBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Uint64
+	act := rt.MustRegisterInlineAction("inline_off_noop", func(*Locality, [][]byte) [][]byte {
+		ran.Add(1)
+		return nil
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	l := rt.Locality(0)
+	l.deliver(benchBundle(8, 64, act))
+	for ran.Load() < 8 {
+		runtime.Gosched()
+	}
+	if got := l.InlineExecuted(); got != 0 {
+		t.Fatalf("InlineExecuted = %d with InlineBudget -1, want 0", got)
+	}
+}
+
+// TestInlineBudgetCapsPerMessage: with a static budget of 1, exactly one
+// parcel per message runs inline and the rest spawn (no spill — partition,
+// not demotion).
+func TestInlineBudgetCapsPerMessage(t *testing.T) {
+	rt, err := NewRuntime(Config{Localities: 2, WorkersPerLocality: 2, Parcelport: "lci", InlineBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Uint64
+	act := rt.MustRegisterInlineAction("inline_one_noop", func(*Locality, [][]byte) [][]byte {
+		ran.Add(1)
+		return nil
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	l := rt.Locality(0)
+	const msgs, bundle = 5, 8
+	for i := 0; i < msgs; i++ {
+		l.deliver(benchBundle(bundle, 64, act))
+	}
+	for ran.Load() < msgs*bundle {
+		runtime.Gosched()
+	}
+	if got := l.InlineExecuted(); got != msgs {
+		t.Fatalf("InlineExecuted = %d, want %d (budget 1 per message)", got, msgs)
+	}
+	if got := l.InlineSpilled(); got != 0 {
+		t.Fatalf("InlineSpilled = %d, want 0 (under-budget partition is not a spill)", got)
+	}
+}
+
+// TestInlineHeavyActionDemoted is the safety escape: an inline-hinted
+// action that in fact runs long first trips the per-message time cap (the
+// rest of its batch demotes to spawned tasks mid-flight), then loses
+// eligibility entirely once its service-time EWMA crosses the heavy
+// ceiling — one slow action cannot keep stalling the completion drain.
+func TestInlineHeavyActionDemoted(t *testing.T) {
+	rt, err := NewRuntime(Config{Localities: 2, WorkersPerLocality: 2, Parcelport: "lci"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Uint64
+	act := rt.MustRegisterInlineAction("inline_heavy", func(*Locality, [][]byte) [][]byte {
+		time.Sleep(300 * time.Microsecond) // far above the 20µs heavy ceiling
+		ran.Add(1)
+		return nil
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	l := rt.Locality(0)
+	const bundle = 4
+	l.deliver(benchBundle(bundle, 64, act))
+	for ran.Load() < bundle {
+		runtime.Gosched()
+	}
+	// The first run exceeds the 100µs time cap, so the remaining three demote.
+	if got := l.InlineSpilled(); got == 0 {
+		t.Fatal("time cap never demoted a heavy inline batch")
+	}
+	inlineAfterFirst := l.InlineExecuted()
+	if inlineAfterFirst == 0 {
+		t.Fatal("no inline run recorded for the first heavy parcel")
+	}
+	// The EWMA now knows the action is heavy: further messages spawn
+	// everything.
+	for i := 0; i < 3; i++ {
+		l.deliver(benchBundle(bundle, 64, act))
+	}
+	for ran.Load() < 4*bundle {
+		runtime.Gosched()
+	}
+	if got := l.InlineExecuted(); got != inlineAfterFirst {
+		t.Fatalf("heavy action still ran inline after EWMA learned it: %d -> %d", inlineAfterFirst, got)
+	}
+}
+
+// TestInlineVsSpawnEquivalence is the property test: the same randomized
+// Apply/Call workload produces identical observable results with the inline
+// lane enabled and disabled — same per-id execution counts (exactly once),
+// same Call echoes. The lanes may differ in scheduling only.
+func TestInlineVsSpawnEquivalence(t *testing.T) {
+	type outcome struct {
+		counts map[uint32]int
+		echoes int
+	}
+	run := func(t *testing.T, inlineBudget int, seed int64) outcome {
+		t.Helper()
+		rt, err := NewRuntime(Config{
+			Localities:         2,
+			WorkersPerLocality: 2,
+			Parcelport:         "lci_agg",
+			InlineBudget:       inlineBudget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Shutdown()
+		var mu sync.Mutex
+		counts := make(map[uint32]int)
+		sink := rt.MustRegisterInlineAction("equiv_sink", func(loc *Locality, args [][]byte) [][]byte {
+			if len(args) >= 1 && len(args[0]) >= 4 {
+				id := binary.LittleEndian.Uint32(args[0])
+				mu.Lock()
+				counts[id]++
+				mu.Unlock()
+			}
+			return nil
+		})
+		echo := rt.MustRegisterInlineAction("equiv_echo", func(loc *Locality, args [][]byte) [][]byte {
+			return args
+		})
+		if err := rt.Start(); err != nil {
+			t.Fatal(err)
+		}
+		l := rt.Locality(0)
+		rng := rand.New(rand.NewSource(seed))
+		const ops = 400
+		echoes := 0
+		var futs []func() error
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				idBuf := make([]byte, 4+rng.Intn(64))
+				binary.LittleEndian.PutUint32(idBuf, uint32(i))
+				if err := l.ApplyID(1, sink, [][]byte{idBuf}); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				payload := make([]byte, 1+rng.Intn(128))
+				rng.Read(payload)
+				f := l.CallID(1, echo, [][]byte{payload})
+				futs = append(futs, func() error {
+					res, err := f.GetTimeout(30 * time.Second)
+					if err != nil {
+						return err
+					}
+					if len(res) != 1 || !bytes.Equal(res[0], payload) {
+						return fmt.Errorf("echo mismatch: got %d blobs", len(res))
+					}
+					return nil
+				})
+				echoes++
+			}
+		}
+		for _, wait := range futs {
+			if err := wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		want := 0
+		mu.Lock()
+		want = len(counts)
+		mu.Unlock()
+		_ = want
+		for {
+			mu.Lock()
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			done := total >= ops-echoes
+			mu.Unlock()
+			if done || time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+		}
+		if inlineBudget >= 0 {
+			if rt.Locality(1).InlineExecuted() == 0 {
+				t.Fatal("inline-enabled run executed nothing inline")
+			}
+		} else if got := rt.Locality(1).InlineExecuted(); got != 0 {
+			t.Fatalf("inline-disabled run executed %d inline", got)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		out := outcome{counts: make(map[uint32]int, len(counts)), echoes: echoes}
+		for k, v := range counts {
+			out.counts[k] = v
+		}
+		return out
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			inl := run(t, 0, seed)
+			spawn := run(t, -1, seed)
+			if inl.echoes != spawn.echoes {
+				t.Fatalf("echo counts differ: inline %d, spawn %d", inl.echoes, spawn.echoes)
+			}
+			if len(inl.counts) != len(spawn.counts) {
+				t.Fatalf("sink id sets differ: inline %d, spawn %d", len(inl.counts), len(spawn.counts))
+			}
+			for id, c := range inl.counts {
+				if c != 1 {
+					t.Fatalf("inline run: id %d executed %d times, want exactly once", id, c)
+				}
+				if spawn.counts[id] != 1 {
+					t.Fatalf("spawn run: id %d executed %d times, want exactly once", id, spawn.counts[id])
+				}
+			}
+		})
+	}
+}
+
+// TestInlineExactlyOnceUnderChaos: the inline lane sits above the ARQ and
+// dedup layers, so a lossy, duplicating, corrupting fabric must not change
+// the exactly-once guarantee for inline-executed actions.
+func TestInlineExactlyOnceUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	rt, err := NewRuntime(Config{
+		Localities:         2,
+		WorkersPerLocality: 2,
+		Parcelport:         "lci_agg",
+		Fabric:             chaosFabric(0.02, 20260807),
+		AggMaxQueued:       8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	var mu sync.Mutex
+	counts := make(map[uint32]int)
+	sink := rt.MustRegisterInlineAction("inline_chaos_sink", func(loc *Locality, args [][]byte) [][]byte {
+		if len(args) == 1 && len(args[0]) >= 4 {
+			id := binary.LittleEndian.Uint32(args[0])
+			mu.Lock()
+			counts[id]++
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l := rt.Locality(0)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		idBuf := make([]byte, 4)
+		binary.LittleEndian.PutUint32(idBuf, uint32(i))
+		if err := l.ApplyID(1, sink, [][]byte{idBuf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		mu.Lock()
+		n := len(counts)
+		mu.Unlock()
+		if n == total || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(counts) != total {
+		t.Fatalf("delivered %d of %d distinct ids under chaos", len(counts), total)
+	}
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("id %d executed %d times under chaos, want exactly once", id, c)
+		}
+	}
+	if rt.Locality(1).InlineExecuted() == 0 {
+		t.Fatal("chaos run never used the inline lane")
+	}
+}
+
+// TestInlineConcurrentDeliver exercises the inline lane from several
+// delivering goroutines at once (the mt-progress shape where multiple
+// workers drain completions concurrently). Run under the race detector via
+// `make race`.
+func TestInlineConcurrentDeliver(t *testing.T) {
+	rt, err := NewRuntime(Config{Localities: 2, WorkersPerLocality: 2, Parcelport: "lci"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Uint64
+	act := rt.MustRegisterInlineAction("inline_conc", func(*Locality, [][]byte) [][]byte {
+		ran.Add(1)
+		return nil
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	l := rt.Locality(0)
+	const goroutines, msgs, bundle = 4, 50, 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := benchBundle(bundle, 32, act)
+			for i := 0; i < msgs; i++ {
+				l.deliver(m)
+			}
+		}()
+	}
+	wg.Wait()
+	const total = goroutines * msgs * bundle
+	for ran.Load() < total {
+		runtime.Gosched()
+	}
+	if got := l.InlineExecuted(); got == 0 || got > total {
+		t.Fatalf("InlineExecuted = %d out of %d delivered", got, total)
+	}
+}
+
+// TestDeliverInlineBundleZeroAllocs is the inline lane's allocation gate:
+// delivering a full default-budget bundle (32 small parcels, all run to
+// completion inline) must not allocate once pools are warm — the lane adds
+// budget checks and EWMA updates to the datapath, none of which may touch
+// the heap.
+func TestDeliverInlineBundleZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; gate runs in non-race builds")
+	}
+	rt, err := NewRuntime(Config{Localities: 2, WorkersPerLocality: 2, Parcelport: "lci"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Uint64
+	act := rt.MustRegisterInlineAction("inline_zeroalloc", func(*Locality, [][]byte) [][]byte {
+		ran.Add(1)
+		return nil
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	l := rt.Locality(0)
+	const bundle = 32 // the full default inline budget
+	m := benchBundle(bundle, 64, act)
+	owner := &stubOwner{}
+	m.Owner = owner
+	deliverOnce := func() {
+		want := ran.Load() + bundle
+		rel := owner.releases.Load() + 1
+		l.deliver(m)
+		if ran.Load() != want || owner.releases.Load() != rel {
+			t.Fatalf("inline delivery was not synchronous: ran %d want %d, releases %d want %d",
+				ran.Load(), want, owner.releases.Load(), rel)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		deliverOnce()
+	}
+	avg := testing.AllocsPerRun(50, deliverOnce)
+	if avg != 0 {
+		t.Fatalf("inline delivery of a warm %d-parcel bundle allocates %.1f times per run, want 0", bundle, avg)
+	}
+	if got := l.InlineExecuted(); got == 0 {
+		t.Fatal("gate measured the spawn path, not the inline lane")
+	}
+}

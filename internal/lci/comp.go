@@ -110,6 +110,43 @@ func (q *CompQueue) Pop() (Request, bool) {
 	return Request{}, false
 }
 
+// PopN dequeues up to len(buf) completion records into buf and returns how
+// many were written. It amortizes the MPMC pop across a batch: the ring is
+// drained record by record (each TryPop is one CAS), then a single overflow
+// lock acquisition covers however many overflow records are still needed —
+// instead of one lock probe per record as repeated Pop calls would pay once
+// the ring runs dry. Safe for concurrent consumers; allocation-free.
+func (q *CompQueue) PopN(buf []Request) int {
+	n := 0
+	for n < len(buf) {
+		req, ok := q.r.TryPop()
+		if !ok {
+			break
+		}
+		buf[n] = req
+		n++
+	}
+	if n < len(buf) && q.ovLen.Load() > 0 {
+		q.ovMu.Lock()
+		k := copy(buf[n:], q.overflow)
+		if k > 0 {
+			rest := copy(q.overflow, q.overflow[k:])
+			// Zero the vacated tail so Data/Ctx/Pkt references don't pin
+			// buffers past their dequeue.
+			for i := rest; i < len(q.overflow); i++ {
+				q.overflow[i] = Request{}
+			}
+			q.overflow = q.overflow[:rest]
+		}
+		q.ovMu.Unlock()
+		if k > 0 {
+			q.ovLen.Add(int64(-k))
+			n += k
+		}
+	}
+	return n
+}
+
 // Len returns the approximate queue length.
 func (q *CompQueue) Len() int { return q.r.Len() + int(q.ovLen.Load()) }
 

@@ -98,6 +98,12 @@ type Config struct {
 	// baseline for the chunked protocol: benchmarks measure striping
 	// speedup against it, and property tests check byte-identical results.
 	SingleBlobLong bool
+	// ProgressBatch bounds how many arrived packets one Progress call
+	// drains, so a progress caller cannot monopolize the engine
+	// indefinitely. Default DefaultProgressBatch. Surfaced through
+	// core.Config.DrainBatch alongside the parcelport's completion-drain
+	// budget (one documented knob for both drain loops).
+	ProgressBatch int
 }
 
 func (c *Config) fillDefaults() {
@@ -118,6 +124,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = DefaultChunkSize
+	}
+	if c.ProgressBatch <= 0 {
+		c.ProgressBatch = DefaultProgressBatch
 	}
 }
 

@@ -335,6 +335,59 @@ func TestCompQueueOverflowDoesNotDrop(t *testing.T) {
 	}
 }
 
+func TestCompQueuePopN(t *testing.T) {
+	q := NewCompQueue(8) // ring capacity 8, the rest overflows
+	const total = 50
+	for i := 0; i < total; i++ {
+		q.Push(Request{Tag: uint32(i)})
+	}
+	seen := make(map[uint32]bool)
+	var buf [7]Request
+	got := 0
+	for got < total {
+		n := q.PopN(buf[:])
+		if n == 0 {
+			t.Fatalf("PopN returned 0 with %d records remaining", total-got)
+		}
+		for _, r := range buf[:n] {
+			if seen[r.Tag] {
+				t.Fatalf("duplicate tag %d", r.Tag)
+			}
+			seen[r.Tag] = true
+		}
+		got += n
+	}
+	if n := q.PopN(buf[:]); n != 0 {
+		t.Fatalf("drained queue returned %d records", n)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", q.Len())
+	}
+}
+
+func TestCompQueuePopNInterleavedWithPush(t *testing.T) {
+	q := NewCompQueue(4)
+	var buf [16]Request
+	next, got := 0, 0
+	for round := 0; round < 40; round++ {
+		for k := 0; k < 1+round%5; k++ {
+			q.Push(Request{Tag: uint32(next)})
+			next++
+		}
+		got += q.PopN(buf[:1+round%3])
+	}
+	for {
+		n := q.PopN(buf[:])
+		if n == 0 {
+			break
+		}
+		got += n
+	}
+	if got != next {
+		t.Fatalf("popped %d of %d pushed records", got, next)
+	}
+}
+
 func TestSynchronizer(t *testing.T) {
 	s := NewSynchronizer(3)
 	if s.Test() {

@@ -1,0 +1,136 @@
+package lcipp
+
+import (
+	"testing"
+
+	"hpxgo/internal/amt"
+	"hpxgo/internal/fabric"
+	"hpxgo/internal/lci"
+	"hpxgo/internal/parcelport"
+)
+
+// newDrainPP builds a two-device parcelport (distinct put CQs plus a shared
+// op CQ — the multi-queue drain set) without starting progress threads, so
+// tests can feed the queues synthetic records and observe single drainCQ
+// passes. The synthetic CompPut records carry no decodable header, so
+// dispatch drops them after the pop — exactly what a starvation test needs:
+// pops are observable through Len without side effects.
+func newDrainPP(t *testing.T, drainBatch int) *Parcelport {
+	t.Helper()
+	net, err := fabric.NewNetwork(fabric.Config{Nodes: 2, DevicesPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := []*lci.Device{
+		lci.NewDevice(net.DeviceN(0, 0), lci.Config{}, nil),
+		lci.NewDevice(net.DeviceN(0, 1), lci.Config{}, nil),
+	}
+	sched := amt.New(amt.Config{Workers: 1, Name: "drain-test"})
+	pp, err := NewMulti(devs, sched, Config{
+		Progress:   parcelport.WorkerProgress,
+		DrainBatch: drainBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		pp.Stop()
+		sched.Stop()
+	})
+	return pp
+}
+
+// TestDrainFairnessOpCQNotStarved is the starvation regression test for the
+// shared-budget round-robin drain: a hot put stream on one device must not
+// consume the whole per-pass budget before operation completions get a
+// turn. A sequential exhaust-one-queue-first drain fails this (the op CQ
+// would see none of a budget smaller than the hot backlog).
+func TestDrainFairnessOpCQNotStarved(t *testing.T) {
+	const budget = 16
+	pp := newDrainPP(t, budget)
+
+	hot := pp.putCQs[0]
+	const hotDepth = 1000
+	for i := 0; i < hotDepth; i++ {
+		hot.Push(lci.Request{Type: lci.CompPut, Rank: 1})
+	}
+	const opDepth = 4
+	for i := 0; i < opDepth; i++ {
+		pp.opCQ.Push(lci.Request{Type: lci.CompSend}) // Ctx nil: untracked, dropped
+	}
+
+	if !pp.drainCQ() {
+		t.Fatal("drainCQ found no work")
+	}
+
+	opDrained := opDepth - pp.opCQ.Len()
+	if opDrained == 0 {
+		t.Fatalf("op CQ starved: hot put stream consumed the whole %d-record budget", budget)
+	}
+	if hot.Len() == 0 {
+		t.Fatal("bounded pass drained the entire hot queue")
+	}
+	popped := (hotDepth - hot.Len()) + opDrained
+	if popped > budget {
+		t.Fatalf("pass popped %d records, budget is %d", popped, budget)
+	}
+}
+
+// TestDrainRotatesStartingQueue checks that successive passes rotate which
+// queue is served first, so no queue is systematically favored when every
+// queue holds work.
+func TestDrainRotatesStartingQueue(t *testing.T) {
+	const budget = drainChunk // exactly one chunk: each pass serves one queue
+	pp := newDrainPP(t, budget)
+
+	fill := func() {
+		for _, cq := range pp.cqs {
+			for cq.Len() < drainChunk {
+				cq.Push(lci.Request{Type: lci.CompSend})
+			}
+		}
+	}
+
+	served := make(map[int]bool)
+	for pass := 0; pass < len(pp.cqs)*2; pass++ {
+		fill()
+		before := make([]int, len(pp.cqs))
+		for i, cq := range pp.cqs {
+			before[i] = cq.Len()
+		}
+		pp.drainCQ()
+		for i, cq := range pp.cqs {
+			if cq.Len() < before[i] {
+				served[i] = true
+			}
+		}
+	}
+	if len(served) != len(pp.cqs) {
+		t.Fatalf("rotation served %d of %d queues across passes", len(served), len(pp.cqs))
+	}
+}
+
+// TestDrainBudgetBoundsOnePass checks the budget is shared across queues,
+// not per queue: with every queue deep, one pass pops at most DrainBatch in
+// total.
+func TestDrainBudgetBoundsOnePass(t *testing.T) {
+	const budget = 24
+	pp := newDrainPP(t, budget)
+	const depth = 200
+	for _, cq := range pp.cqs {
+		for i := 0; i < depth; i++ {
+			cq.Push(lci.Request{Type: lci.CompSend})
+		}
+	}
+	pp.drainCQ()
+	popped := 0
+	for _, cq := range pp.cqs {
+		popped += depth - cq.Len()
+	}
+	if popped > budget {
+		t.Fatalf("one pass popped %d records across queues, shared budget is %d", popped, budget)
+	}
+	if popped == 0 {
+		t.Fatal("pass popped nothing")
+	}
+}

@@ -62,7 +62,19 @@ type Config struct {
 	// MaxProgressWorkers caps dedicated progress goroutines per device when
 	// AdaptiveProgress is on (default 3).
 	MaxProgressWorkers int
+
+	// DrainBatch is the shared completion budget of one background drain
+	// pass: at most this many completion records are popped and dispatched
+	// across ALL completion queues (every device's put CQ plus the shared
+	// op CQ), round-robin interleaved so a hot put stream cannot starve
+	// operation completions. Default DefaultDrainBatch. Surfaced through
+	// core.Config.DrainBatch (autotune-visible seed).
+	DrainBatch int
 }
+
+// DefaultDrainBatch is the Config.DrainBatch seed: the per-pass completion
+// budget the historical fixed cqBatch constant provided.
+const DefaultDrainBatch = 32
 
 // headerCtx marks completions of the per-device wildcard header receive.
 type headerCtx struct{ dev int }
@@ -91,6 +103,14 @@ type Parcelport struct {
 	// single-device operation shares one queue with the puts, preserving
 	// the paper's "poll one completion queue" property.
 	opCQ *lci.CompQueue
+
+	// cqs/cqDevs is the flattened drain set — every put CQ plus, when
+	// distinct, the shared op CQ — with the device index dispatch needs for
+	// each queue's records. drainCur rotates the round-robin starting queue
+	// across passes so no queue is systematically served first.
+	cqs      []*lci.CompQueue
+	cqDevs   []int
+	drainCur atomic.Uint32
 
 	// syncMu guards the pending synchronizer list (sy mode), polled
 	// round-robin like the MPI parcelport's connection list.
@@ -166,6 +186,17 @@ func NewMulti(devs []*lci.Device, sched *amt.Scheduler, cfg Config) (*Parcelport
 		pp.opCQ = devs[0].PutCQ()
 	} else {
 		pp.opCQ = lci.NewCompQueue(0)
+	}
+	if pp.cfg.DrainBatch <= 0 {
+		pp.cfg.DrainBatch = DefaultDrainBatch
+	}
+	for i, cq := range pp.putCQs {
+		pp.cqs = append(pp.cqs, cq)
+		pp.cqDevs = append(pp.cqDevs, i)
+	}
+	if pp.opCQ != pp.putCQs[0] {
+		pp.cqs = append(pp.cqs, pp.opCQ)
+		pp.cqDevs = append(pp.cqDevs, 0)
 	}
 	return pp, nil
 }
@@ -388,31 +419,45 @@ func (pp *Parcelport) BackgroundWork(workerID int) bool {
 	return did
 }
 
-// cqBatch bounds completions drained per background pass.
-const cqBatch = 32
+// drainChunk is one round-robin turn's per-queue batch: small enough that
+// the queues interleave within a single pass (fairness), large enough to
+// amortize the PopN batch pop. The chunk buffer lives on the caller's stack,
+// so concurrent background workers drain without sharing scratch state.
+const drainChunk = 8
 
 // drainCQ pops and dispatches completion-queue entries from every device's
-// put CQ and from the shared op CQ.
+// put CQ and from the shared op CQ, round-robin interleaved under one shared
+// DrainBatch budget. The rotation cursor advances every pass, so under a
+// sustained hot put stream the op CQ still gets a proportional share of each
+// pass (the historical sequential drain served every put CQ to exhaustion of
+// its own fixed batch before touching operation completions).
 func (pp *Parcelport) drainCQ() bool {
+	budget := pp.cfg.DrainBatch
+	nq := len(pp.cqs)
+	start := int(pp.drainCur.Add(1))
+	var buf [drainChunk]lci.Request
 	did := false
-	for devIdx, cq := range pp.putCQs {
-		for i := 0; i < cqBatch; i++ {
-			req, ok := cq.Pop()
-			if !ok {
-				break
+	for budget > 0 {
+		idle := true
+		for qi := 0; qi < nq && budget > 0; qi++ {
+			slot := (start + qi) % nq
+			want := drainChunk
+			if budget < want {
+				want = budget
 			}
+			n := pp.cqs[slot].PopN(buf[:want])
+			if n == 0 {
+				continue
+			}
+			idle = false
 			did = true
-			pp.dispatch(devIdx, req)
+			budget -= n
+			for i := 0; i < n; i++ {
+				pp.dispatch(pp.cqDevs[slot], buf[i])
+			}
 		}
-	}
-	if pp.opCQ != pp.putCQs[0] {
-		for i := 0; i < cqBatch; i++ {
-			req, ok := pp.opCQ.Pop()
-			if !ok {
-				break
-			}
-			did = true
-			pp.dispatch(0, req)
+		if idle {
+			break
 		}
 	}
 	return did

@@ -47,6 +47,12 @@ type Config struct {
 	ZeroCopyThreshold int
 	// Original selects the pre-improvement variant (§3.1).
 	Original bool
+	// DrainBatch bounds how many pending connections one BackgroundWork
+	// pass advances, walking the list from a rotating cursor so a long list
+	// cannot monopolize a worker and its tail cannot starve. Zero leaves
+	// the sweep unbounded (the pre-knob behavior). Surfaced through
+	// core.Config.DrainBatch.
+	DrainBatch int
 }
 
 // Stats are cumulative parcelport counters.
@@ -77,8 +83,9 @@ type Parcelport struct {
 	releaseBuf  []byte
 	releaseRecv *mpisim.Request
 
-	pendMu  sync.Mutex // the HPX spinlock protecting the pending list
-	pending []*connection
+	pendMu   sync.Mutex // the HPX spinlock protecting the pending list
+	pending  []*connection
+	drainCur atomic.Uint32 // rotating sweep cursor (bounded DrainBatch mode)
 
 	stopped atomic.Bool
 
@@ -274,13 +281,24 @@ func (pp *Parcelport) addPending(c *connection) {
 
 // advancePending walks a snapshot of the pending list, advancing every
 // connection whose outstanding operation completed, then compacts the list.
+// With Config.DrainBatch set, each pass advances at most that many
+// connections, starting from a rotating cursor for fairness.
 func (pp *Parcelport) advancePending() bool {
 	pp.pendMu.Lock()
 	conns := pp.pending
 	pp.pendMu.Unlock()
+	n := len(conns)
+	if n == 0 {
+		return false
+	}
+	start, limit := 0, n
+	if b := pp.cfg.DrainBatch; b > 0 && b < n {
+		start, limit = int(pp.drainCur.Add(1))%n, b
+	}
 	did := false
 	finished := 0
-	for _, c := range conns {
+	for k := 0; k < limit; k++ {
+		c := conns[(start+k)%n]
 		if c.done.Load() {
 			finished++
 			continue

@@ -231,13 +231,16 @@ func New(rt *core.Runtime, cfg Config) (*Service, error) {
 			outstanding: make([]atomic.Int64, rt.Localities()),
 		}
 	}
-	if s.getID, err = rt.RegisterAction("__serve_get", s.actGet); err != nil {
+	// The shard actions are inline-hinted: each is a striped-lock map probe
+	// plus a token-bucket CAS — small, non-blocking, and faster to run on
+	// the draining goroutine than to hand off to a spawned task.
+	if s.getID, err = rt.RegisterInlineAction("__serve_get", s.actGet); err != nil {
 		return nil, err
 	}
-	if s.putID, err = rt.RegisterAction("__serve_put", s.actPut); err != nil {
+	if s.putID, err = rt.RegisterInlineAction("__serve_put", s.actPut); err != nil {
 		return nil, err
 	}
-	if s.delID, err = rt.RegisterAction("__serve_del", s.actDel); err != nil {
+	if s.delID, err = rt.RegisterInlineAction("__serve_del", s.actDel); err != nil {
 		return nil, err
 	}
 	return s, nil

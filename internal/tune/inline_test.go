@@ -1,0 +1,123 @@
+package tune
+
+import "testing"
+
+// inlineTick feeds one tick interval of inline-lane observations for dst,
+// then runs the control pass.
+func (s *sim) inlineTick(dst int, runs int, svcNs int64, spills int) {
+	for i := 0; i < runs; i++ {
+		s.ctl.ObserveInline(dst, svcNs)
+	}
+	if spills > 0 {
+		s.ctl.ObserveInlineSpill(dst, spills)
+	}
+	s.now += s.ctl.cfg.TickNs
+	s.ctl.Tick(s.now)
+}
+
+// TestInlineBudgetSeedsAtConfig: parity before evidence.
+func TestInlineBudgetSeedsAtConfig(t *testing.T) {
+	s := newSim(Config{Dests: 2, InlineBudget: 48})
+	if got := s.ctl.InlineBudget(1); got != 48 {
+		t.Fatalf("seed budget = %d, want 48", got)
+	}
+	if got := s.ctl.InlineBudget(-1); got != 48 {
+		t.Fatalf("out-of-range dst budget = %d, want static 48", got)
+	}
+	if s.ctl.InlineHeavyNs() <= 0 {
+		t.Fatal("InlineHeavyNs must default positive")
+	}
+}
+
+// TestInlineBudgetShrinksOnHeavyServiceAndRecovers: a destination whose
+// actions run heavy loses budget down to the floor of 1 — never 0, so the
+// EWMA stays fed — and relaxes back to the seed once the workload lightens.
+func TestInlineBudgetShrinksOnHeavyServiceAndRecovers(t *testing.T) {
+	s := newSim(Config{Dests: 2, InlineBudget: 32, InlineHeavyNs: 20_000})
+	for i := 0; i < 20; i++ {
+		s.inlineTick(1, 8, 100_000, 0) // 100µs per action: heavy
+	}
+	if got := s.ctl.Peer(1).InlineBudget; got != 1 {
+		t.Fatalf("budget under sustained heavy service = %d, want floor 1", got)
+	}
+	// Light traffic again: the floor-1 inline run keeps observing, the EWMA
+	// decays below the ceiling, and the budget relaxes to the seed.
+	for i := 0; i < 40; i++ {
+		s.inlineTick(1, 8, 1_000, 0)
+	}
+	if got := s.ctl.Peer(1).InlineBudget; got != 32 {
+		t.Fatalf("budget after recovery = %d, want seed 32", got)
+	}
+}
+
+// TestInlineBudgetGrowsOnSpillUnderBacklog: spills alone must not grow the
+// budget (the cap may be doing its job); spills while the worker pool is
+// backlogged must, up to the bound.
+func TestInlineBudgetGrowsOnSpillUnderBacklog(t *testing.T) {
+	s := newSim(Config{Dests: 2, InlineBudget: 32, MaxInlineBudget: 128})
+
+	// Spills with an idle pool: hold (relax law keeps it at the seed).
+	for i := 0; i < 10; i++ {
+		s.inlineTick(1, 8, 1_000, 16)
+	}
+	if got := s.ctl.Peer(1).InlineBudget; got != 32 {
+		t.Fatalf("budget after spills without backlog = %d, want 32", got)
+	}
+
+	// Spills with a saturated pool: grow to the cap.
+	s.pending = backlogHigh + 100
+	for i := 0; i < 10; i++ {
+		s.inlineTick(1, 8, 1_000, 16)
+	}
+	if got := s.ctl.Peer(1).InlineBudget; got != 128 {
+		t.Fatalf("budget under spills+backlog = %d, want cap 128", got)
+	}
+
+	// Backlog gone: relax back to the seed.
+	s.pending = 0
+	for i := 0; i < 20; i++ {
+		s.inlineTick(1, 8, 1_000, 0)
+	}
+	if got := s.ctl.Peer(1).InlineBudget; got != 32 {
+		t.Fatalf("budget after backlog cleared = %d, want seed 32", got)
+	}
+}
+
+// TestInlineBudgetBounded: whatever the observation stream, the budget
+// stays within [1, MaxInlineBudget] — monotone actuation toward clamped
+// targets, like every other law.
+func TestInlineBudgetBounded(t *testing.T) {
+	s := newSim(Config{Dests: 2, InlineBudget: 16, MaxInlineBudget: 64})
+	rngState := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		return int(rngState % uint64(n))
+	}
+	for i := 0; i < 500; i++ {
+		s.pending = int64(next(2 * backlogHigh))
+		svc := int64(100 + next(200_000))
+		s.inlineTick(1, 1+next(16), svc, next(32))
+		got := s.ctl.Peer(1).InlineBudget
+		if got < 1 || got > 64 {
+			t.Fatalf("tick %d: budget %d escaped [1, 64]", i, got)
+		}
+	}
+}
+
+// TestInlineIdlePeerHolds: no inline traffic means no budget movement (the
+// laws only act on live signals).
+func TestInlineIdlePeerHolds(t *testing.T) {
+	s := newSim(Config{Dests: 3, InlineBudget: 32})
+	// Heavy traffic on peer 1 only; peer 2 stays silent.
+	for i := 0; i < 10; i++ {
+		s.inlineTick(1, 8, 100_000, 0)
+	}
+	if got := s.ctl.Peer(2).InlineBudget; got != 32 {
+		t.Fatalf("idle peer's budget moved to %d, want seed 32", got)
+	}
+	if got := s.ctl.Peer(1).InlineBudget; got >= 32 {
+		t.Fatalf("heavy peer's budget did not shrink: %d", got)
+	}
+}

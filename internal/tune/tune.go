@@ -52,6 +52,10 @@ type Signals struct {
 	// PoolRetries returns the cumulative count of resource-exhaustion
 	// retries (packet pool empty, backpressure). Fed from lci device stats.
 	PoolRetries func() uint64
+	// PendingTasks returns the locality's spawned-but-unfinished task count
+	// (the amt scheduler backlog). Fed from amt.Scheduler.Pending; the
+	// inline-budget law uses it as its occupancy signal.
+	PendingTasks func() int64
 }
 
 // Config bounds the controllers' actuation. Zero values select defaults.
@@ -86,6 +90,24 @@ type Config struct {
 	// indistinguishable from it); both default to 1 when unset.
 	MinStripeWidth int
 	MaxStripeWidth int
+
+	// InlineBudget seeds the per-destination inline-execution budget: how
+	// many small parcels one completion-drain pass may run to completion on
+	// the draining goroutine before spilling the rest to spawned tasks.
+	// Default DefaultInlineBudget.
+	InlineBudget int
+	// MaxInlineBudget bounds the budget's growth. Default 4× InlineBudget.
+	MaxInlineBudget int
+	// InlineHeavyNs is the per-action service-time EWMA above which a
+	// destination's actions are considered too heavy to run inline (each
+	// inline run stalls the drain by its full service time). Default 20µs.
+	InlineHeavyNs int64
+	// DrainBatch is the completion-drain batch seed the parcelports run
+	// with (shared round-robin budget per drain pass; the LCI engine's
+	// ProgressBatch derives as 2×). Static today — recorded here so the
+	// controller sees the knob it shares the drain goroutine with, and so
+	// a future law has its seed. Default DefaultDrainBatch.
+	DrainBatch int
 
 	// TickNs rate-gates the control pass.
 	TickNs int64
@@ -142,6 +164,21 @@ func (c *Config) fillDefaults() {
 	if c.StripeWidth > c.MaxStripeWidth {
 		c.StripeWidth = c.MaxStripeWidth
 	}
+	if c.InlineBudget <= 0 {
+		c.InlineBudget = DefaultInlineBudget
+	}
+	if c.MaxInlineBudget <= 0 {
+		c.MaxInlineBudget = 4 * c.InlineBudget
+	}
+	if c.MaxInlineBudget < c.InlineBudget {
+		c.MaxInlineBudget = c.InlineBudget
+	}
+	if c.InlineHeavyNs <= 0 {
+		c.InlineHeavyNs = 20_000
+	}
+	if c.DrainBatch <= 0 {
+		c.DrainBatch = DefaultDrainBatch
+	}
 	if c.TickNs <= 0 {
 		c.TickNs = 1_000_000 // 1ms
 	}
@@ -160,6 +197,23 @@ const (
 	depthShallow = 16
 )
 
+// DefaultInlineBudget is the seed for the per-destination inline-execution
+// budget (parcels run to completion per drain pass). The value is the common
+// bundle size at full aggregation: one typical bundle of small parcels runs
+// entirely inline, and anything beyond it spills to spawned tasks.
+const DefaultInlineBudget = 32
+
+// backlogHigh is the scheduler-backlog watermark for the inline-budget law:
+// above it the worker pool is saturated, so running a small parcel inline is
+// cheaper than queueing it behind the backlog.
+const backlogHigh = 256
+
+// DefaultDrainBatch is the completion-drain batch seed: the shared
+// round-robin budget one lcipp drain pass pops across all completion
+// queues. The LCI engine's ProgressBatch derives as 2× this value —
+// the ratio the pre-knob constants (64:32) shipped with.
+const DefaultDrainBatch = 32
+
 // bypassLargeFrac: once this fraction of a destination's parcels travel the
 // rendezvous path (size ≥ the static zero-copy threshold), the link to that
 // peer is bandwidth-bound, not injection-rate-bound — bundling the small
@@ -177,34 +231,44 @@ type peer struct {
 	bypass       atomic.Bool
 	zcThreshold  atomic.Int64
 	stripe       atomic.Int64
+	inlineBudget atomic.Int64
 
 	// Observations (per-message ingest).
-	lastSendNs atomic.Int64
-	gapEwmaNs  atomic.Int64 // send interarrival EWMA (α = 1/4)
-	sends      atomic.Uint64
-	fillEwma   atomic.Int64 // bundle bytes at flush (α = 1/4)
-	sizeFl     atomic.Uint64
-	ageFl      atomic.Uint64
-	sizeHist   stats.Hist
+	lastSendNs   atomic.Int64
+	gapEwmaNs    atomic.Int64 // send interarrival EWMA (α = 1/4)
+	sends        atomic.Uint64
+	fillEwma     atomic.Int64 // bundle bytes at flush (α = 1/4)
+	sizeFl       atomic.Uint64
+	ageFl        atomic.Uint64
+	sizeHist     stats.Hist
+	inlSvcEwmaNs atomic.Int64 // inline-run service time EWMA (α = 1/4)
+	inlRuns      atomic.Uint64
+	inlSpills    atomic.Uint64
 
 	// Tick-private state (only the elected Tick runner touches these).
-	calm      int
-	lastSends uint64
-	lastSzFl  uint64
-	lastAgeFl uint64
+	calm        int
+	lastSends   uint64
+	lastSzFl    uint64
+	lastAgeFl   uint64
+	lastInlRuns uint64
+	lastInlSpl  uint64
 }
 
 // PeerSnapshot is a plain-value view of one destination's knobs and key
 // observations (tests, stats reporting).
 type PeerSnapshot struct {
-	FlushBytes   int
-	FlushDelayNs int64
-	ColdIdleNs   int64
-	Bypass       bool
-	ZCThreshold  int
-	StripeWidth  int
-	GapEwmaNs    int64
-	Sends        uint64
+	FlushBytes      int
+	FlushDelayNs    int64
+	ColdIdleNs      int64
+	Bypass          bool
+	ZCThreshold     int
+	StripeWidth     int
+	GapEwmaNs       int64
+	Sends           uint64
+	InlineBudget    int
+	InlineSvcEwmaNs int64
+	InlineRuns      uint64
+	InlineSpills    uint64
 }
 
 // Controller holds every per-destination feedback loop of one locality.
@@ -231,6 +295,7 @@ func NewController(cfg Config, sig Signals) *Controller {
 		p.coldIdleNs.Store(4 * cfg.FlushDelayNs)
 		p.zcThreshold.Store(int64(cfg.ZCThreshold))
 		p.stripe.Store(int64(cfg.StripeWidth))
+		p.inlineBudget.Store(int64(cfg.InlineBudget))
 	}
 	return c
 }
@@ -245,14 +310,18 @@ func (c *Controller) Peer(dst int) PeerSnapshot {
 	}
 	p := &c.peers[dst]
 	return PeerSnapshot{
-		FlushBytes:   int(p.flushBytes.Load()),
-		FlushDelayNs: p.flushDelayNs.Load(),
-		ColdIdleNs:   p.coldIdleNs.Load(),
-		Bypass:       p.bypass.Load(),
-		ZCThreshold:  int(p.zcThreshold.Load()),
-		StripeWidth:  int(p.stripe.Load()),
-		GapEwmaNs:    p.gapEwmaNs.Load(),
-		Sends:        p.sends.Load(),
+		FlushBytes:      int(p.flushBytes.Load()),
+		FlushDelayNs:    p.flushDelayNs.Load(),
+		ColdIdleNs:      p.coldIdleNs.Load(),
+		Bypass:          p.bypass.Load(),
+		ZCThreshold:     int(p.zcThreshold.Load()),
+		StripeWidth:     int(p.stripe.Load()),
+		GapEwmaNs:       p.gapEwmaNs.Load(),
+		Sends:           p.sends.Load(),
+		InlineBudget:    int(p.inlineBudget.Load()),
+		InlineSvcEwmaNs: p.inlSvcEwmaNs.Load(),
+		InlineRuns:      p.inlRuns.Load(),
+		InlineSpills:    p.inlSpills.Load(),
 	}
 }
 
@@ -325,6 +394,52 @@ func (c *Controller) StripeWidth(dst int) int {
 		return c.cfg.StripeWidth
 	}
 	return int(c.peers[dst].stripe.Load())
+}
+
+// InlineBudget returns src's effective inline-execution budget: how many
+// small parcels one drain pass may run to completion on the draining
+// goroutine. Implements the delivery-layer Tuner hook. The destination index
+// here is the parcel *source* — the peer whose traffic is being delivered.
+func (c *Controller) InlineBudget(src int) int {
+	if src < 0 || src >= len(c.peers) {
+		return c.cfg.InlineBudget
+	}
+	return int(c.peers[src].inlineBudget.Load())
+}
+
+// InlineHeavyNs returns the service-time ceiling for inline eligibility
+// (static; the per-destination law consumes the same value).
+func (c *Controller) InlineHeavyNs() int64 { return c.cfg.InlineHeavyNs }
+
+// DrainBatch reports the completion-drain batch seed the parcelports run
+// with. Static (no law moves it yet); exposed so the controller's view of
+// the drain goroutine it shares with the inline lane is complete.
+func (c *Controller) DrainBatch() int { return c.cfg.DrainBatch }
+
+// ObserveInline records one parcel from src run inline, with its service
+// time in ns.
+func (c *Controller) ObserveInline(src int, svcNs int64) {
+	if src < 0 || src >= len(c.peers) {
+		return
+	}
+	p := &c.peers[src]
+	p.inlRuns.Add(1)
+	old := p.inlSvcEwmaNs.Load()
+	if old == 0 {
+		p.inlSvcEwmaNs.Store(svcNs)
+	} else {
+		p.inlSvcEwmaNs.Store(old + (svcNs-old)/4)
+	}
+}
+
+// ObserveInlineSpill records n parcels from src that were eligible for
+// inline execution but spilled to spawned tasks (budget or time cap
+// exhausted).
+func (c *Controller) ObserveInlineSpill(src, n int) {
+	if src < 0 || src >= len(c.peers) || n <= 0 {
+		return
+	}
+	c.peers[src].inlSpills.Add(uint64(n))
 }
 
 // ObserveParcel records one outbound parcel's payload size toward dst
@@ -471,6 +586,42 @@ func (c *Controller) tunePeer(dst int, pressure uint64) {
 		sw--
 	}
 	p.stripe.Store(clamp64(sw, int64(cfg.MinStripeWidth), int64(cfg.MaxStripeWidth)))
+
+	// --- inline-execution budget: shrink when this peer's actions run
+	// heavy, grow when light parcels spill into a saturated worker pool,
+	// relax toward the configured seed otherwise ---
+	// An inline run occupies the draining goroutine for its full service
+	// time, so a destination whose actions trend heavy gets its budget
+	// halved — but floored at 1, never 0: the lone inline run each pass
+	// keeps the service-time EWMA fresh, so a workload that lightens is
+	// observed and the budget can recover. The growth side needs both
+	// signals: spills alone only say the budget is binding; only when the
+	// worker pool is also backlogged does queueing demonstrably cost more
+	// than running in place.
+	ib := p.inlineBudget.Load()
+	inlRuns, inlSpl := p.inlRuns.Load(), p.inlSpills.Load()
+	dInl, dSpl := inlRuns-p.lastInlRuns, inlSpl-p.lastInlSpl
+	p.lastInlRuns, p.lastInlSpl = inlRuns, inlSpl
+	var backlog int64
+	if c.sig.PendingTasks != nil {
+		backlog = c.sig.PendingTasks()
+	}
+	switch {
+	case p.inlSvcEwmaNs.Load() > cfg.InlineHeavyNs:
+		ib = clamp64(ib/2, 1, int64(cfg.MaxInlineBudget))
+	case dSpl > 0 && backlog >= backlogHigh:
+		ib = clamp64(ib*2, 1, int64(cfg.MaxInlineBudget))
+	case (dInl > 0 || dSpl > 0) && ib != int64(cfg.InlineBudget):
+		// Geometrically relax back to the hand-tuned seed while traffic
+		// still flows (mirrors the flush-size law).
+		diff := int64(cfg.InlineBudget) - ib
+		step := diff / 2
+		if step == 0 {
+			step = diff
+		}
+		ib = clamp64(ib+step, 1, int64(cfg.MaxInlineBudget))
+	}
+	p.inlineBudget.Store(ib)
 
 	// --- eager/rendezvous threshold: descend under pool pressure when this
 	// destination actually carries large messages, recover after calm ---

@@ -13,14 +13,16 @@ type sim struct {
 	rtt     int64
 	depth   int
 	retries uint64
+	pending int64
 }
 
 func newSim(cfg Config) *sim {
 	s := &sim{}
 	s.ctl = NewController(cfg, Signals{
-		RTTNs:       func(int) int64 { return s.rtt },
-		QueueDepth:  func(int) int { return s.depth },
-		PoolRetries: func() uint64 { return s.retries },
+		RTTNs:        func(int) int64 { return s.rtt },
+		QueueDepth:   func(int) int { return s.depth },
+		PoolRetries:  func() uint64 { return s.retries },
+		PendingTasks: func() int64 { return s.pending },
 	})
 	return s
 }
@@ -346,8 +348,12 @@ func TestSteadyStatePathsZeroAlloc(t *testing.T) {
 		s.ctl.ObserveSend(1, 256, now)
 		s.ctl.ObserveFlush(1, 4096, 8, 25_000, true)
 		s.ctl.ObserveParcel(1, 256)
+		s.ctl.ObserveInline(1, 1_500)
+		s.ctl.ObserveInlineSpill(1, 2)
 		_, _, _, _ = s.ctl.AggKnobs(1)
 		_ = s.ctl.Threshold(1)
+		_ = s.ctl.InlineBudget(1)
+		_ = s.ctl.InlineHeavyNs()
 	}); a != 0 {
 		t.Fatalf("ingest/knob path allocates %.1f/op, want 0", a)
 	}
